@@ -1,0 +1,291 @@
+package faucets_test
+
+// The benchmark harness regenerates every experiment in EXPERIMENTS.md
+// (the paper publishes no quantitative tables, so each falsifiable claim
+// in its text is an experiment — see DESIGN.md §4). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkE* executes the full experiment per iteration and
+// reports its headline quantities as custom metrics, so the bench output
+// itself is a compact reproduction record. Micro-benchmarks at the
+// bottom cover the engine hot paths.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"net"
+
+	"faucets/internal/daemon"
+	"faucets/internal/experiments"
+	"faucets/internal/gantt"
+	"faucets/internal/machine"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+	"faucets/internal/scheduler"
+	"faucets/internal/sim"
+	"faucets/internal/workload"
+
+	"faucets/internal/job"
+)
+
+const benchSeed = 42
+
+// reportTable attaches selected table cells as benchmark metrics.
+func reportTable(b *testing.B, t *experiments.Table, cells map[string][2]string) {
+	for metric, cell := range cells {
+		if v, ok := t.Get(cell[0], cell[1]); ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+func BenchmarkE1InternalFragmentation(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E1InternalFragmentation(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"fcfs_A_wait_s":     {"fcfs", "A_wait_s"},
+		"adaptive_A_wait_s": {"equipartition latency=0s", "A_wait_s"},
+	})
+}
+
+func BenchmarkE2ExternalFragmentation(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E2ExternalFragmentation(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"locked_resp_s": {"locked-to-one", "mean_resp_s"},
+		"open_resp_s":   {"open-market", "mean_resp_s"},
+	})
+}
+
+func BenchmarkE3AdaptiveVsRigid(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E3AdaptiveVsRigid(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"fcfs_resp_hot_s": {"fcfs gap=5s", "mean_resp_s"},
+		"equi_resp_hot_s": {"equipartition gap=5s", "mean_resp_s"},
+		"equi_util_hot":   {"equipartition gap=5s", "utilization"},
+		"fcfs_util_hot":   {"fcfs gap=5s", "utilization"},
+	})
+}
+
+func BenchmarkE4BidStrategies(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E4BidStrategies(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"baseline_revenue": {"all-baseline", "revenue"},
+		"util_revenue":     {"all-utilization", "revenue"},
+		"util_multiplier":  {"all-utilization", "mean_multiplier"},
+	})
+}
+
+func BenchmarkE5PayoffAdmission(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E5PayoffAdmission(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"acceptall_payoff": {"fcfs accept-all", "total_payoff"},
+		"profit_payoff":    {"profit lookahead=600s", "total_payoff"},
+		"profit_rejected":  {"profit lookahead=600s", "rejected"},
+	})
+}
+
+func BenchmarkE6Bartering(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E6Bartering(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"noshare_resp_s": {"no-sharing", "mean_resp_s"},
+		"barter_resp_s":  {"bartering", "mean_resp_s"},
+		"helper_credits": {"bartering", "helper_credits"},
+	})
+}
+
+func BenchmarkE7BidScalability(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E7BidScalability(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"n1000_broadcast_msgs": {"n=1000 broadcast", "bid_messages"},
+		"n1000_filtered_msgs":  {"n=1000 filtered", "bid_messages"},
+	})
+}
+
+func BenchmarkE8TwoPhaseCommit(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.E8TwoPhaseCommit(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"twophase_placed":    {"two-phase", "placed"},
+		"singlephase_placed": {"single-phase", "placed"},
+	})
+}
+
+// --- Micro-benchmarks: engine hot paths ---
+
+func BenchmarkSimEngineEventChurn(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "tick", func(*sim.Engine) {})
+		e.Step()
+	}
+}
+
+func BenchmarkSimEngineHeap1k(b *testing.B) {
+	// Maintain a 1000-event horizon and churn through it.
+	e := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		e.After(sim.Duration(rng.Range(0, 100)), "seed", func(en *sim.Engine) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Duration(rng.Range(0, 100)), "churn", func(*sim.Engine) {})
+		e.Step()
+	}
+}
+
+func BenchmarkProtocolFrameRoundTrip(b *testing.B) {
+	body := protocol.Telemetry{JobID: "job-123", Time: 42.5, PEs: 64, Util: 0.93, Done: 0.5, State: "running"}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := protocol.WriteFrame(&buf, protocol.TypeTelemetry, body); err != nil {
+			b.Fatal(err)
+		}
+		f, err := protocol.ReadFrame(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out protocol.Telemetry
+		if err := protocol.Decode(f, protocol.TypeTelemetry, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocatorAllocRelease(b *testing.B) {
+	al := machine.NewAllocator(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := al.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		al.Release(a)
+	}
+}
+
+func BenchmarkEquipartitionSubmitFinish(b *testing.B) {
+	spec := machine.Spec{Name: "m", NumPE: 256, MemPerPE: 2048, Speed: 1, CostRate: 0.01}
+	s := scheduler.NewEquipartition(spec, scheduler.Config{})
+	now := 0.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := &qos.Contract{App: "p", MinPE: 2, MaxPE: 32, Work: 100}
+		j := job.New(job.ID(fmt.Sprintf("j%d", i)), "u", c, now)
+		s.Submit(now, j)
+		now += 1
+		s.Advance(now)
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	spec := workload.Default(benchSeed, 1000, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX1Preemption(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.X1Preemption(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"nopreempt_urgent_met": {"profit no-preempt", "urgent_met"},
+		"preempt_urgent_met":   {"profit preempt", "urgent_met"},
+		"preempt_checkpoints":  {"profit preempt", "checkpoints"},
+	})
+}
+
+func BenchmarkX2GridWeather(b *testing.B) {
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.X2GridWeather(benchSeed)
+	}
+	reportTable(b, t, map[string][2]string{
+		"weather_revenue": {"weather", "revenue"},
+		"util_revenue":    {"utilization", "revenue"},
+	})
+}
+
+func BenchmarkGanttFindWindow(b *testing.B) {
+	c := gantt.NewChart(1024)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		start := rng.Range(0, 1000)
+		_, _ = c.Reserve(start, start+rng.Range(10, 100), 1+rng.Intn(512))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.FindWindow(rng.Range(0, 1000), 50, 256, 0)
+	}
+}
+
+// BenchmarkLiveBidRoundTrip measures the real wire path: client →
+// Faucets Daemon bid request over loopback TCP, including the daemon's
+// scheduler estimate and bid generation.
+func BenchmarkLiveBidRoundTrip(b *testing.B) {
+	spec := machine.Spec{Name: "bench", NumPE: 64, MemPerPE: 2048, CPUType: "x86", Speed: 1, CostRate: 0.01}
+	d, err := daemon.New(daemon.Config{
+		Info:      protocol.ServerInfo{Spec: spec, Apps: []string{"synth"}},
+		Scheduler: scheduler.NewEquipartition(spec, scheduler.Config{}),
+		TimeScale: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Start(l); err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reply protocol.BidOK
+		if err := protocol.Call(conn, protocol.TypeBidReq, protocol.BidReq{User: "u", Contract: c}, protocol.TypeBidOK, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

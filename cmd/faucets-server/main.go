@@ -1,0 +1,141 @@
+// Command faucets-server runs the Faucets Central Server (paper §2): the
+// directory of Compute Servers, user authentication, daemon polling,
+// billing/bartering settlement, and the contract history.
+//
+// Usage:
+//
+//	faucets-server -listen :9100 -mode dollars -users users.txt -poll 10s
+//
+// The users file holds one "user:password[:homecluster]" per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"faucets/internal/accounting"
+	"faucets/internal/central"
+	"faucets/internal/db"
+)
+
+func main() {
+	listen := flag.String("listen", ":9100", "address to listen on")
+	mode := flag.String("mode", "dollars", "economic mode: dollars, su, barter")
+	usersFile := flag.String("users", "", "file of user:password[:homecluster] lines")
+	poll := flag.Duration("poll", 10*time.Second, "daemon polling interval (0 disables)")
+	deadAfter := flag.Duration("dead-after", 30*time.Second, "unseen daemons drop from the directory after this long")
+	dbPath := flag.String("db", "", "JSON snapshot file: loaded at startup if present, saved periodically and on shutdown")
+	dbEvery := flag.Duration("db-interval", time.Minute, "snapshot save interval (with -db)")
+	peers := flag.String("peers", "", "comma-separated peer Central Server addresses (distributed directory, §5.1)")
+	flag.Parse()
+
+	var m accounting.Mode
+	switch strings.ToLower(*mode) {
+	case "dollars":
+		m = accounting.Dollars
+	case "su", "service-units":
+		m = accounting.ServiceUnits
+	case "barter":
+		m = accounting.Barter
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	var srv *central.Server
+	if *dbPath != "" {
+		if store, err := db.Load(*dbPath); err == nil {
+			srv = central.NewWithDB(m, store)
+			log.Printf("faucets-server: resumed database from %s", *dbPath)
+		} else if os.IsNotExist(err) || strings.Contains(err.Error(), "no such file") {
+			srv = central.New(m)
+		} else {
+			log.Fatalf("db: %v", err)
+		}
+	} else {
+		srv = central.New(m)
+	}
+	srv.DeadAfter = *deadAfter
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		srv.SetPeers(list)
+	}
+	if *usersFile != "" {
+		if err := loadUsers(srv, *usersFile); err != nil {
+			log.Fatalf("users: %v", err)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	if *poll > 0 {
+		srv.StartPolling(*poll)
+	}
+	if *dbPath != "" {
+		go snapshotLoop(srv, *dbPath, *dbEvery)
+		go saveOnShutdown(srv, *dbPath)
+	}
+	log.Printf("faucets-server: %s mode on %s", m, l.Addr())
+	srv.Serve(l)
+}
+
+// snapshotLoop persists the database periodically.
+func snapshotLoop(srv *central.Server, path string, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
+		if err := srv.DB.Save(path); err != nil {
+			log.Printf("db save: %v", err)
+		}
+	}
+}
+
+// saveOnShutdown flushes the database on SIGINT/SIGTERM and exits.
+func saveOnShutdown(srv *central.Server, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	if err := srv.DB.Save(path); err != nil {
+		log.Printf("db save: %v", err)
+	}
+	srv.Close()
+	os.Exit(0)
+}
+
+func loadUsers(srv *central.Server, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for i, line := range strings.Split(string(blob), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) < 2 {
+			return fmt.Errorf("line %d: want user:password[:home]", i+1)
+		}
+		home := ""
+		if len(parts) == 3 {
+			home = parts[2]
+		}
+		if err := srv.Auth.AddUser(parts[0], parts[1], home); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command faucetsd runs a Faucets Daemon — one per Compute Server
+// (paper §2). It registers with the Central Server, answers bid
+// requests through its local scheduler and bid generator, runs
+// committed jobs under the synthetic application model, streams
+// telemetry to AppSpector, and settles finished jobs.
+//
+// Usage:
+//
+//	faucetsd -listen :9200 -central host:9100 -appspector host:9300 \
+//	         -name turing -pe 128 -scheduler equipartition -bidder utilization
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+
+	"faucets/internal/bidding"
+	"faucets/internal/daemon"
+	"faucets/internal/machine"
+	"faucets/internal/protocol"
+	"faucets/internal/scheduler"
+)
+
+func main() {
+	listen := flag.String("listen", ":9200", "address to listen on")
+	centralAddr := flag.String("central", "", "Faucets Central Server address (empty = standalone)")
+	asAddr := flag.String("appspector", "", "AppSpector address (empty = no monitoring)")
+	name := flag.String("name", "cluster", "Compute Server name")
+	pe := flag.Int("pe", 64, "number of processors")
+	mem := flag.Int("mem", 2048, "memory per processor, MB")
+	cpuType := flag.String("cpu", "x86", "CPU type advertised in the directory")
+	speed := flag.Float64("speed", 1.0, "speed factor relative to the reference machine")
+	cost := flag.Float64("cost", 0.01, "normalized cost, $ per CPU-second")
+	apps := flag.String("apps", "synth", "comma-separated exported Known Applications")
+	sched := flag.String("scheduler", "equipartition", "fcfs, backfill, equipartition, profit")
+	bidder := flag.String("bidder", "baseline", "baseline, utilization, weather, or history")
+	home := flag.String("home", "", "bartering home cluster (defaults to -name)")
+	timeScale := flag.Float64("timescale", 1.0, "virtual seconds per wall second")
+	reconfig := flag.Float64("reconfig-latency", 5.0, "adaptive-job reconfiguration stall, seconds")
+	lookahead := flag.Float64("lookahead", 3600, "profit scheduler admission lookahead, seconds")
+	preempt := flag.Bool("preempt", false, "profit scheduler: checkpoint low-payoff jobs for high-payoff arrivals (§4.1/§5.5.4)")
+	flag.Parse()
+
+	spec := machine.Spec{
+		Name: *name, NumPE: *pe, MemPerPE: *mem, CPUType: *cpuType,
+		Speed: *speed, CostRate: *cost,
+	}
+	schedCfg := scheduler.Config{ReconfigLatency: *reconfig, Lookahead: *lookahead, Preempt: *preempt}
+	var cm scheduler.Scheduler
+	switch strings.ToLower(*sched) {
+	case "fcfs":
+		cm = scheduler.NewFCFS(spec, schedCfg)
+	case "backfill":
+		cm = scheduler.NewBackfill(spec, schedCfg)
+	case "equipartition":
+		cm = scheduler.NewEquipartition(spec, schedCfg)
+	case "profit":
+		cm = scheduler.NewProfit(spec, schedCfg)
+	default:
+		log.Fatalf("unknown scheduler %q", *sched)
+	}
+	var gen bidding.Generator
+	switch strings.ToLower(*bidder) {
+	case "baseline":
+		gen = bidding.Baseline{}
+	case "utilization":
+		gen = bidding.NewUtilization()
+	case "weather":
+		if *centralAddr == "" {
+			log.Fatal("the weather bidder needs -central for §5.2.1 grid reports")
+		}
+		gen = bidding.NewWeather(&daemon.CentralWeather{Addr: *centralAddr})
+	case "history":
+		if *centralAddr == "" {
+			log.Fatal("the history bidder needs -central for §5.2.1 contract history")
+		}
+		gen = bidding.NewHistory(&daemon.CentralHistory{Addr: *centralAddr})
+	default:
+		log.Fatalf("unknown bidder %q", *bidder)
+	}
+
+	var appList []string
+	for _, a := range strings.Split(*apps, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			appList = append(appList, a)
+		}
+	}
+	d, err := daemon.New(daemon.Config{
+		Info:           protocol.ServerInfo{Spec: spec, Apps: appList, Home: *home},
+		Scheduler:      cm,
+		Bidder:         gen,
+		CentralAddr:    *centralAddr,
+		AppSpectorAddr: *asAddr,
+		TimeScale:      *timeScale,
+	})
+	if err != nil {
+		log.Fatalf("daemon: %v", err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	if err := d.Start(l); err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	log.Printf("faucetsd: %s (%d PEs, %s scheduler, %s bidder) on %s",
+		*name, *pe, cm.Name(), gen.Name(), l.Addr())
+	select {} // serve until killed
+}

@@ -1,0 +1,13 @@
+// Package faucets is a from-scratch Go reproduction of "Faucets:
+// Efficient Resource Allocation on the Computational Grid" (Kalé,
+// Kumar, Potnuru, DeSouza, Bandhakavi — ICPP 2004): a market-based grid
+// resource-allocation framework in which Compute Servers compete for
+// every job by submitting bids, jobs carry quality-of-service contracts
+// with soft/hard-deadline payoff functions, and adaptive jobs let smart
+// schedulers shrink and expand allocations to keep machines full.
+//
+// The user-facing API lives in internal/core; runnable daemons in cmd/;
+// worked examples in examples/; the experiment suite (bench harness) in
+// bench_test.go backed by internal/experiments. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package faucets

@@ -1,0 +1,3 @@
+module faucets
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package accounting implements the alternative economic contexts of
+// paper §5.5: pay-for-use Dollar billing (§5.5.1), Service-Unit quotas
+// for academic allocations where bids are SU multipliers (§5.5.2), the
+// bartering economy in which collaborating clusters earn and spend
+// credits through a Home Cluster (§5.5.3), and the fair-usage tracking
+// suggested for intranets (§5.5.4).
+package accounting
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"faucets/internal/db"
+)
+
+// Mode selects the economic context.
+type Mode int
+
+// The billing modes of §5.5.
+const (
+	// Dollars: users pay cash per job (§5.5.1).
+	Dollars Mode = iota
+	// ServiceUnits: users draw from an SU quota; bids are multipliers on
+	// the job's nominal SUs (§5.5.2).
+	ServiceUnits
+	// Barter: collaborating clusters exchange credits; a user's Home
+	// Cluster pays the executing cluster (§5.5.3).
+	Barter
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Dollars:
+		return "dollars"
+	case ServiceUnits:
+		return "service-units"
+	case Barter:
+		return "barter"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Errors returned by the accountant.
+var (
+	ErrQuota    = errors.New("accounting: insufficient service-unit quota")
+	ErrCredit   = errors.New("accounting: home cluster has insufficient credits")
+	ErrNegative = errors.New("accounting: negative amount")
+)
+
+// Accountant settles job payments in a chosen mode over the shared
+// database. It is safe for concurrent use.
+type Accountant struct {
+	mode Mode
+	db   *db.DB
+
+	mu sync.Mutex
+	// quotas holds per-user SU balances (ServiceUnits mode).
+	quotas map[string]float64
+	// creditFloor is how far negative a home cluster's balance may go in
+	// Barter mode before jobs are refused off-cluster (0 = must stay
+	// non-negative).
+	creditFloor float64
+	// revenue tracks Dollar income per server (Dollars mode).
+	revenue map[string]float64
+	// spendByUser tracks cumulative spend for fair-usage reporting
+	// (§5.5.4).
+	spendByUser map[string]float64
+}
+
+// New returns an Accountant in the given mode over the database.
+func New(mode Mode, store *db.DB) *Accountant {
+	return &Accountant{
+		mode:        mode,
+		db:          store,
+		quotas:      map[string]float64{},
+		revenue:     map[string]float64{},
+		spendByUser: map[string]float64{},
+	}
+}
+
+// Mode returns the active economic context.
+func (a *Accountant) Mode() Mode { return a.mode }
+
+// SetCreditFloor allows barter balances to run down to -floor.
+func (a *Accountant) SetCreditFloor(floor float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.creditFloor = floor
+}
+
+// GrantQuota adds SUs to a user's allocation (§5.5.2: "users can then be
+// allocated quota in terms of Service-Units as before").
+func (a *Accountant) GrantQuota(user string, su float64) error {
+	if su < 0 {
+		return ErrNegative
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.quotas[user] += su
+	return nil
+}
+
+// Quota returns a user's remaining SUs.
+func (a *Accountant) Quota(user string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.quotas[user]
+}
+
+// CanAfford reports whether the payer can cover a price before bids are
+// even solicited: in ServiceUnits mode the user needs quota; in Barter
+// mode an off-home placement needs home-cluster credits above the floor;
+// Dollars mode always affords (credit risk is out of scope, as in the
+// paper).
+func (a *Accountant) CanAfford(user, homeCluster, server string, price float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch a.mode {
+	case ServiceUnits:
+		return a.quotas[user] >= price
+	case Barter:
+		if homeCluster == "" || homeCluster == server {
+			return true // running at home costs no credits
+		}
+		return a.db.Credits(homeCluster)-price >= -a.creditFloor
+	default:
+		return true
+	}
+}
+
+// Settle records payment for a finished job. price is the accepted bid
+// amount (Dollars or SUs); in Barter mode it is the credit transfer
+// between the home cluster and the executing cluster, and running on the
+// home cluster itself transfers nothing.
+func (a *Accountant) Settle(jobID, user, homeCluster, server string, price float64) error {
+	if price < 0 {
+		return ErrNegative
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch a.mode {
+	case Dollars:
+		a.revenue[server] += price
+	case ServiceUnits:
+		if a.quotas[user] < price {
+			return fmt.Errorf("%w: user %s has %.1f, needs %.1f", ErrQuota, user, a.quotas[user], price)
+		}
+		a.quotas[user] -= price
+		a.revenue[server] += price
+	case Barter:
+		if homeCluster != "" && homeCluster != server {
+			if a.db.Credits(homeCluster)-price < -a.creditFloor {
+				return fmt.Errorf("%w: %s at %.1f, needs %.1f", ErrCredit, homeCluster, a.db.Credits(homeCluster), price)
+			}
+			if err := a.db.TransferCredits(homeCluster, server, price); err != nil {
+				return err
+			}
+		}
+	}
+	a.spendByUser[user] += price
+	return nil
+}
+
+// Revenue returns a server's cumulative income (Dollars/SU modes).
+func (a *Accountant) Revenue(server string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.revenue[server]
+}
+
+// Spend returns a user's cumulative payments — the fair-usage statistic
+// of §5.5.4 ("so that high priority jobs do not forever starve a subset
+// of users, who may own some of the resources").
+func (a *Accountant) Spend(user string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spendByUser[user]
+}
+
+// Credits exposes the bartering balance of a cluster.
+func (a *Accountant) Credits(cluster string) float64 {
+	return a.db.Credits(cluster)
+}

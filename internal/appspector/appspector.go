@@ -1,0 +1,303 @@
+// Package appspector implements the Job Monitoring component of the
+// Faucets system (paper §2, Fig 3): "AppSpector server connects to the
+// job through a network connection and buffers the display data so that
+// multiple clients can monitor the job simultaneously. Any authenticated
+// users using the faucets client can connect to their running (or just
+// completed) parallel job using its job-ID via the AppSpector."
+//
+// Each telemetry sample carries the two sections of the Fig 3 display:
+// the generic processor-utilization/throughput section and the
+// application-specific output text.
+package appspector
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"faucets/internal/protocol"
+)
+
+// VerifyFunc checks a client token with the Faucets Central Server; nil
+// disables authentication (standalone/test deployments).
+type VerifyFunc func(token string) (user string, err error)
+
+// jobStream is the buffered display data of one job.
+type jobStream struct {
+	owner    string
+	server   string
+	app      string
+	history  []protocol.Telemetry
+	watchers map[chan protocol.Telemetry]struct{}
+	done     bool
+}
+
+// Server is the AppSpector daemon.
+type Server struct {
+	mu     sync.Mutex
+	jobs   map[string]*jobStream
+	verify VerifyFunc
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	conns    map[net.Conn]struct{}
+
+	// MaxHistory bounds buffered samples per job (oldest dropped).
+	MaxHistory int
+}
+
+// NewServer returns an AppSpector server; verify may be nil.
+func NewServer(verify VerifyFunc) *Server {
+	return &Server{
+		jobs:       map[string]*jobStream{},
+		verify:     verify,
+		conns:      map[net.Conn]struct{}{},
+		closed:     make(chan struct{}),
+		MaxHistory: 4096,
+	}
+}
+
+// ErrUnknownJob is returned for watch requests on unregistered jobs.
+var ErrUnknownJob = errors.New("appspector: unknown job")
+
+// Register announces a job (the FD does this when the job starts).
+func (s *Server) Register(jobID, owner, server, app string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[jobID]; ok {
+		return
+	}
+	s.jobs[jobID] = &jobStream{
+		owner: owner, server: server, app: app,
+		watchers: map[chan protocol.Telemetry]struct{}{},
+	}
+}
+
+// Ingest buffers one telemetry sample and fans it out to live watchers.
+// Samples with a terminal state close the stream.
+func (s *Server) Ingest(t protocol.Telemetry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[t.JobID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, t.JobID)
+	}
+	if js.done {
+		return nil
+	}
+	js.history = append(js.history, t)
+	if len(js.history) > s.MaxHistory {
+		js.history = js.history[len(js.history)-s.MaxHistory:]
+	}
+	for ch := range js.watchers {
+		select {
+		case ch <- t:
+		default: // slow watcher: drop rather than block the job
+		}
+	}
+	if terminal(t.State) {
+		js.done = true
+		for ch := range js.watchers {
+			close(ch)
+		}
+		js.watchers = map[chan protocol.Telemetry]struct{}{}
+	}
+	return nil
+}
+
+func terminal(state string) bool {
+	switch state {
+	case "finished", "rejected", "killed":
+		return true
+	}
+	return false
+}
+
+// Snapshot returns the buffered history of a job and whether the stream
+// has ended.
+func (s *Server) Snapshot(jobID string) ([]protocol.Telemetry, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[jobID]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	return append([]protocol.Telemetry(nil), js.history...), js.done, nil
+}
+
+// subscribe attaches a watcher: it receives the buffered history
+// (if fromStart) and a channel of live samples (nil if the job is done).
+func (s *Server) subscribe(jobID string, fromStart bool) ([]protocol.Telemetry, chan protocol.Telemetry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[jobID]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	var hist []protocol.Telemetry
+	if fromStart {
+		hist = append(hist, js.history...)
+	}
+	if js.done {
+		return hist, nil, nil
+	}
+	ch := make(chan protocol.Telemetry, 256)
+	js.watchers[ch] = struct{}{}
+	return hist, ch, nil
+}
+
+func (s *Server) unsubscribe(jobID string, ch chan protocol.Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if js, ok := s.jobs[jobID]; ok {
+		delete(js.watchers, ch)
+	}
+}
+
+// Watchers returns the live watcher count for a job (diagnostics).
+func (s *Server) Watchers(jobID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if js, ok := s.jobs[jobID]; ok {
+		return len(js.watchers)
+	}
+	return 0
+}
+
+// Serve accepts connections on l until Close.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			log.Printf("appspector: accept: %v", err)
+			return
+		}
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.track(conn, false)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// track adds or removes a live connection.
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Close stops the server, severing live connections (watchers included),
+// and waits for connection handlers.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.mu.Lock()
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+}
+
+// handle serves one connection: a job feeding telemetry, an FD
+// registering jobs, or a client watching.
+func (s *Server) handle(conn net.Conn) {
+	for {
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: connection done
+		}
+		switch f.Type {
+		case protocol.TypeASRegisterReq:
+			var req protocol.ASRegisterReq
+			if err := protocol.Decode(f, f.Type, &req); err != nil {
+				_ = protocol.WriteError(conn, err.Error())
+				continue
+			}
+			s.Register(req.JobID, req.Owner, req.Server, req.App)
+			_ = protocol.WriteFrame(conn, protocol.TypeASRegisterOK, protocol.ASRegisterOK{})
+
+		case protocol.TypeTelemetry:
+			var t protocol.Telemetry
+			if err := protocol.Decode(f, f.Type, &t); err != nil {
+				_ = protocol.WriteError(conn, err.Error())
+				continue
+			}
+			// Telemetry is fire-and-forget: no reply, so a chatty job
+			// never blocks on the monitor.
+			_ = s.Ingest(t)
+
+		case protocol.TypeWatchReq:
+			var req protocol.WatchReq
+			if err := protocol.Decode(f, f.Type, &req); err != nil {
+				_ = protocol.WriteError(conn, err.Error())
+				return
+			}
+			s.serveWatch(conn, req)
+			return // watch owns the rest of the connection
+
+		default:
+			_ = protocol.WriteError(conn, "appspector: unsupported frame "+f.Type)
+		}
+	}
+}
+
+// serveWatch streams history and live telemetry to one client.
+func (s *Server) serveWatch(conn net.Conn, req protocol.WatchReq) {
+	if s.verify != nil {
+		if _, err := s.verify(req.Token); err != nil {
+			_ = protocol.WriteError(conn, "appspector: "+err.Error())
+			return
+		}
+	}
+	hist, live, err := s.subscribe(req.JobID, req.FromStart)
+	if err != nil {
+		_ = protocol.WriteError(conn, err.Error())
+		return
+	}
+	if live != nil {
+		defer s.unsubscribe(req.JobID, live)
+	}
+	if err := protocol.WriteFrame(conn, protocol.TypeWatchOK, protocol.WatchOK{JobID: req.JobID}); err != nil {
+		return
+	}
+	for _, t := range hist {
+		if err := protocol.WriteFrame(conn, protocol.TypeTelemetry, t); err != nil {
+			return
+		}
+	}
+	if live != nil {
+		for t := range live {
+			if err := protocol.WriteFrame(conn, protocol.TypeTelemetry, t); err != nil {
+				return
+			}
+		}
+	}
+	_ = protocol.WriteFrame(conn, protocol.TypeWatchEnd, nil)
+}

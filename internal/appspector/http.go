@@ -1,0 +1,182 @@
+package appspector
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"faucets/internal/protocol"
+)
+
+// JobMeta summarizes one registered job for directory listings.
+type JobMeta struct {
+	JobID   string `json:"job_id"`
+	Owner   string `json:"owner"`
+	Server  string `json:"server"`
+	App     string `json:"app"`
+	Done    bool   `json:"done"`
+	Samples int    `json:"samples"`
+}
+
+// Jobs lists registered jobs, sorted by id.
+func (s *Server) Jobs() []JobMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobMeta, 0, len(s.jobs))
+	for id, js := range s.jobs {
+		out = append(out, JobMeta{
+			JobID: id, Owner: js.owner, Server: js.server, App: js.app,
+			Done: js.done, Samples: len(js.history),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// viewData feeds the HTML display template.
+type viewData struct {
+	Meta   JobMeta
+	Latest *protocol.Telemetry
+	Trail  []protocol.Telemetry
+}
+
+// viewTemplate is the minimal web rendering of the paper's Fig 3
+// display: an application-specific output section plus the generic
+// processor utilization/progress section.
+var viewTemplate = template.Must(template.New("job").Funcs(template.FuncMap{
+	"mulf": func(a, b float64) float64 { return a * b },
+}).Parse(`<!doctype html>
+<html><head><title>AppSpector — {{.Meta.JobID}}</title></head><body>
+<h1>AppSpector: {{.Meta.JobID}}</h1>
+<p>app <b>{{.Meta.App}}</b> · owner {{.Meta.Owner}} · server {{.Meta.Server}} ·
+{{if .Meta.Done}}completed{{else}}running{{end}}</p>
+{{if .Latest}}
+<h2>Processor utilization / throughput</h2>
+<p>{{.Latest.PEs}} processors · utilization {{printf "%.0f%%" (mulf .Latest.Util 100)}} ·
+progress {{printf "%.1f%%" (mulf .Latest.Done 100)}} · state {{.Latest.State}}</p>
+{{end}}
+<h2>Application output</h2>
+<pre>{{range .Trail}}{{if .Output}}[t={{printf "%.1f" .Time}}] {{.Output}}
+{{end}}{{end}}</pre>
+</body></html>`))
+
+// HTTPHandler exposes the browser-facing AppSpector of paper §2 ("users
+// can monitor and interact with their jobs via the Web"):
+//
+//	GET /jobs                 — JSON directory of registered jobs
+//	GET /jobs/{id}            — JSON telemetry history
+//	GET /jobs/{id}/latest     — JSON latest sample
+//	GET /jobs/{id}/view       — HTML display in the shape of Fig 3
+//
+// When the server was built with a verify function, requests must carry
+// a valid token in the "token" query parameter or an Authorization
+// Bearer header.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	auth := func(w http.ResponseWriter, r *http.Request) bool {
+		if s.verify == nil {
+			return true
+		}
+		token := r.URL.Query().Get("token")
+		if token == "" {
+			if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+				token = strings.TrimPrefix(h, "Bearer ")
+			}
+		}
+		if _, err := s.verify(token); err != nil {
+			http.Error(w, "appspector: "+err.Error(), http.StatusUnauthorized)
+			return false
+		}
+		return true
+	}
+
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = indexTemplate.Execute(w, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		writeJSON(w, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		hist, done, err := s.Snapshot(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"done": done, "telemetry": hist})
+	})
+	mux.HandleFunc("GET /jobs/{id}/latest", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		hist, done, err := s.Snapshot(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		var latest *protocol.Telemetry
+		if len(hist) > 0 {
+			latest = &hist[len(hist)-1]
+		}
+		writeJSON(w, map[string]any{"done": done, "latest": latest})
+	})
+	mux.HandleFunc("GET /jobs/{id}/view", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		id := r.PathValue("id")
+		hist, done, err := s.Snapshot(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		meta := JobMeta{JobID: id, Done: done, Samples: len(hist)}
+		for _, m := range s.Jobs() {
+			if m.JobID == id {
+				meta = m
+				break
+			}
+		}
+		data := viewData{Meta: meta}
+		if len(hist) > 0 {
+			data.Latest = &hist[len(hist)-1]
+			trailFrom := 0
+			if len(hist) > 50 {
+				trailFrom = len(hist) - 50
+			}
+			data.Trail = hist[trailFrom:]
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = viewTemplate.Execute(w, data)
+	})
+	return mux
+}
+
+// indexTemplate lists registered jobs with links to their displays.
+var indexTemplate = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>AppSpector</title></head><body>
+<h1>AppSpector — registered jobs</h1>
+<table border="1" cellpadding="4">
+<tr><th>job</th><th>app</th><th>owner</th><th>server</th><th>state</th><th>samples</th></tr>
+{{range .}}<tr>
+<td><a href="/jobs/{{.JobID}}/view">{{.JobID}}</a></td>
+<td>{{.App}}</td><td>{{.Owner}}</td><td>{{.Server}}</td>
+<td>{{if .Done}}done{{else}}live{{end}}</td><td>{{.Samples}}</td>
+</tr>{{end}}
+</table></body></html>`))
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

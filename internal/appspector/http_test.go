@@ -1,0 +1,155 @@
+package appspector
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"faucets/internal/protocol"
+)
+
+func webServer(t *testing.T, verify VerifyFunc) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(verify)
+	ts := httptest.NewServer(s.HTTPHandler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func seedJob(s *Server) {
+	s.Register("j1", "alice", "turing", "namd")
+	_ = s.Ingest(protocol.Telemetry{JobID: "j1", Time: 1, PEs: 32, Util: 0.9, Done: 0.25, State: "running", Output: "step 100"})
+	_ = s.Ingest(protocol.Telemetry{JobID: "j1", Time: 2, PEs: 32, Util: 0.85, Done: 1.0, State: "finished", Output: "all done"})
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+func TestHTTPJobsDirectory(t *testing.T) {
+	s, ts := webServer(t, nil)
+	seedJob(s)
+	resp, body := get(t, ts.URL+"/jobs")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var metas []JobMeta
+	if err := json.Unmarshal([]byte(body), &metas); err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].JobID != "j1" || !metas[0].Done || metas[0].Samples != 2 {
+		t.Fatalf("metas=%+v", metas)
+	}
+}
+
+func TestHTTPSnapshotAndLatest(t *testing.T) {
+	s, ts := webServer(t, nil)
+	seedJob(s)
+	resp, body := get(t, ts.URL+"/jobs/j1")
+	if resp.StatusCode != 200 || !strings.Contains(body, `"telemetry"`) {
+		t.Fatalf("status=%d body=%s", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts.URL+"/jobs/j1/latest")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var latest struct {
+		Done   bool                `json:"done"`
+		Latest *protocol.Telemetry `json:"latest"`
+	}
+	if err := json.Unmarshal([]byte(body), &latest); err != nil {
+		t.Fatal(err)
+	}
+	if !latest.Done || latest.Latest == nil || latest.Latest.State != "finished" {
+		t.Fatalf("latest=%+v", latest)
+	}
+}
+
+func TestHTTPUnknownJob404(t *testing.T) {
+	_, ts := webServer(t, nil)
+	resp, _ := get(t, ts.URL+"/jobs/ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+}
+
+func TestHTTPViewRendersFig3Sections(t *testing.T) {
+	s, ts := webServer(t, nil)
+	seedJob(s)
+	resp, body := get(t, ts.URL+"/jobs/j1/view")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"Processor utilization", // the generic section of Fig 3
+		"Application output",    // the app-specific section
+		"step 100", "all done",  // buffered output lines
+		"namd", "turing",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("view missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPAuth(t *testing.T) {
+	verify := func(token string) (string, error) {
+		if token == "good" {
+			return "alice", nil
+		}
+		return "", errors.New("bad token")
+	}
+	s, ts := webServer(t, verify)
+	seedJob(s)
+	resp, _ := get(t, ts.URL+"/jobs")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated status=%d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/jobs?token=good")
+	if resp.StatusCode != 200 {
+		t.Fatalf("token query status=%d", resp.StatusCode)
+	}
+	// Bearer header form.
+	req, _ := http.NewRequest("GET", ts.URL+"/jobs/j1", nil)
+	req.Header.Set("Authorization", "Bearer good")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 200 {
+		t.Fatalf("bearer status=%d", r2.StatusCode)
+	}
+}
+
+func TestHTTPIndexPage(t *testing.T) {
+	s, ts := webServer(t, nil)
+	seedJob(s)
+	resp, body := get(t, ts.URL+"/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	for _, want := range []string{"registered jobs", "j1", "/jobs/j1/view", "namd", "done"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q:\n%s", want, body)
+		}
+	}
+}

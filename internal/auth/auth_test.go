@@ -1,0 +1,158 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAddUserAndLogin(t *testing.T) {
+	a := New(time.Hour)
+	if err := a.AddUser("alice", "pw", "cluster-a"); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := a.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok == "" {
+		t.Fatal("empty token")
+	}
+	u, err := a.Verify(tok)
+	if err != nil || u != "alice" {
+		t.Fatalf("verify: %q %v", u, err)
+	}
+	if a.Users() != 1 || a.Sessions() != 1 {
+		t.Fatalf("users=%d sessions=%d", a.Users(), a.Sessions())
+	}
+}
+
+func TestAddUserValidation(t *testing.T) {
+	a := New(time.Hour)
+	if err := a.AddUser("", "pw", ""); !errors.Is(err, ErrEmptyField) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := a.AddUser("x", "", ""); !errors.Is(err, ErrEmptyField) {
+		t.Fatalf("err=%v", err)
+	}
+	_ = a.AddUser("bob", "pw", "")
+	if err := a.AddUser("bob", "other", ""); !errors.Is(err, ErrUserExists) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestLoginWrongPassword(t *testing.T) {
+	a := New(time.Hour)
+	_ = a.AddUser("alice", "pw", "")
+	if _, err := a.Login("alice", "wrong"); !errors.Is(err, ErrBadCreds) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := a.Login("nobody", "pw"); !errors.Is(err, ErrBadCreds) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestVerifyUnknownToken(t *testing.T) {
+	a := New(time.Hour)
+	if _, err := a.Verify("deadbeef"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	a := New(time.Minute)
+	now := time.Unix(1000, 0)
+	a.SetClock(func() time.Time { return now })
+	_ = a.AddUser("alice", "pw", "")
+	tok, _ := a.Login("alice", "pw")
+	if _, err := a.Verify(tok); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := a.Verify(tok); !errors.Is(err, ErrTokenExpired) {
+		t.Fatalf("err=%v", err)
+	}
+	// Expired token is reaped.
+	if a.Sessions() != 0 {
+		t.Fatal("expired session not removed")
+	}
+}
+
+func TestVerifyUser(t *testing.T) {
+	a := New(time.Hour)
+	_ = a.AddUser("alice", "pw", "")
+	_ = a.AddUser("bob", "pw", "")
+	tok, _ := a.Login("alice", "pw")
+	if err := a.VerifyUser("alice", tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.VerifyUser("bob", tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("token accepted for wrong user: %v", err)
+	}
+}
+
+func TestLogout(t *testing.T) {
+	a := New(time.Hour)
+	_ = a.AddUser("alice", "pw", "")
+	tok, _ := a.Login("alice", "pw")
+	a.Logout(tok)
+	if _, err := a.Verify(tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("logged-out token still valid: %v", err)
+	}
+	a.Logout("unknown") // no-op
+}
+
+func TestHomeCluster(t *testing.T) {
+	a := New(time.Hour)
+	_ = a.AddUser("alice", "pw", "cluster-a")
+	if h := a.HomeCluster("alice"); h != "cluster-a" {
+		t.Fatalf("home=%q", h)
+	}
+	if h := a.HomeCluster("nobody"); h != "" {
+		t.Fatalf("home for unknown user=%q", h)
+	}
+}
+
+func TestTempUserIDsUnique(t *testing.T) {
+	a := New(time.Hour)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := a.TempUserID("alice")
+		if seen[id] {
+			t.Fatalf("duplicate temp id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTokensUniquePerLogin(t *testing.T) {
+	a := New(time.Hour)
+	_ = a.AddUser("alice", "pw", "")
+	t1, _ := a.Login("alice", "pw")
+	t2, _ := a.Login("alice", "pw")
+	if t1 == t2 {
+		t.Fatal("two logins produced the same token")
+	}
+}
+
+func TestConcurrentLoginsAndVerify(t *testing.T) {
+	a := New(time.Hour)
+	_ = a.AddUser("alice", "pw", "")
+	done := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		go func() {
+			tok, err := a.Login("alice", "pw")
+			if err != nil {
+				done <- err
+				return
+			}
+			_, err = a.Verify(tok)
+			done <- err
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bidding
+
+import (
+	"faucets/internal/qos"
+	"faucets/internal/weather"
+)
+
+// WeatherSource supplies grid-weather reports (§5.2.1). The Faucets
+// Central Server implements it over the wire; simulations implement it
+// directly.
+type WeatherSource interface {
+	// GridWeather returns the current report; ok is false when no
+	// report is available (bidder falls back to local-only pricing).
+	GridWeather(now float64) (weather.Report, bool)
+}
+
+// Weather is the non-local bid strategy the paper sketches for future
+// versions (§5.2): "the bid may also depend on non-local factors, such
+// as 'what is the average price of similar contracts in the recent past,
+// in the whole system?' or 'how busy is the entire computational grid
+// likely to be during the period covered by the deadline?'"
+//
+// It prices like the local Utilization strategy, then (a) scales with
+// grid-wide utilization — a busy grid supports premiums everywhere, an
+// idle grid forces discounts — and (b) blends toward the recent settled
+// multiplier of similar contracts (same processor-demand bucket).
+type Weather struct {
+	// Local is the base strategy (defaults to the paper's Utilization
+	// parameters).
+	Local *Utilization
+	// Source supplies reports; nil falls back to Local only.
+	Source WeatherSource
+	// Gamma scales the grid-utilization adjustment: the multiplier is
+	// scaled by (1 + Gamma·(gridUtil − ½)).
+	Gamma float64
+	// Blend in [0,1] pulls the result toward the recent market price of
+	// similar contracts.
+	Blend float64
+}
+
+// NewWeather returns the strategy with moderate defaults (γ=1, blend
+// 0.3) over the paper's local utilization parameters.
+func NewWeather(src WeatherSource) *Weather {
+	return &Weather{Local: NewUtilization(), Source: src, Gamma: 1.0, Blend: 0.3}
+}
+
+// Name implements Generator.
+func (w *Weather) Name() string { return "weather" }
+
+// Multiplier implements Generator.
+func (w *Weather) Multiplier(now float64, c *qos.Contract, st ServerState) (float64, bool) {
+	local := w.Local
+	if local == nil {
+		local = NewUtilization()
+	}
+	m, ok := local.Multiplier(now, c, st)
+	if !ok {
+		return 0, false
+	}
+	if w.Source == nil {
+		return m, true
+	}
+	rep, ok := w.Source.GridWeather(now)
+	if !ok {
+		return m, true
+	}
+	// Grid pressure: busy grid → everyone charges more; idle grid →
+	// compete on price.
+	m *= 1 + w.Gamma*(rep.GridUtilization-0.5)
+	// Market anchoring toward similar recent contracts.
+	anchor := rep.MeanMultiplier
+	if b, okb := rep.BucketMultipliers[weather.Bucket(c.MaxPE)]; okb {
+		anchor = b
+	}
+	if rep.Contracts > 0 && anchor > 0 && w.Blend > 0 {
+		blend := w.Blend
+		if blend > 1 {
+			blend = 1
+		}
+		m = (1-blend)*m + blend*anchor
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m, true
+}
+
+// SetSource installs a weather source after construction (used by the
+// simulation harness, which wires the source once the grid exists).
+func (w *Weather) SetSource(src WeatherSource) { w.Source = src }

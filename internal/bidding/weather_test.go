@@ -1,0 +1,100 @@
+package bidding
+
+import (
+	"math"
+	"testing"
+
+	"faucets/internal/weather"
+)
+
+type stubWeather struct {
+	rep weather.Report
+	ok  bool
+}
+
+func (s stubWeather) GridWeather(float64) (weather.Report, bool) { return s.rep, s.ok }
+
+func TestWeatherFallsBackWithoutSource(t *testing.T) {
+	w := NewWeather(nil)
+	m, ok := w.Multiplier(0, contract(), idle())
+	want, _ := NewUtilization().Multiplier(0, contract(), idle())
+	if !ok || m != want {
+		t.Fatalf("m=%v ok=%v, want %v", m, ok, want)
+	}
+	// Unavailable report behaves the same.
+	w = NewWeather(stubWeather{ok: false})
+	m, _ = w.Multiplier(0, contract(), idle())
+	if m != want {
+		t.Fatalf("m=%v, want fallback %v", m, want)
+	}
+}
+
+func TestWeatherDeclinesWhenLocalDeclines(t *testing.T) {
+	st := idle()
+	st.CanRun = false
+	w := NewWeather(stubWeather{ok: true})
+	if _, ok := w.Multiplier(0, contract(), st); ok {
+		t.Fatal("weather bid on a declined job")
+	}
+}
+
+func TestWeatherGridPressure(t *testing.T) {
+	base, _ := NewUtilization().Multiplier(0, contract(), idle())
+	busy := NewWeather(stubWeather{rep: weather.Report{GridUtilization: 1.0}, ok: true})
+	busy.Blend = 0 // isolate the pressure term
+	mBusy, _ := busy.Multiplier(0, contract(), idle())
+	if math.Abs(mBusy-base*1.5) > 1e-9 { // 1 + γ(1−½) = 1.5
+		t.Fatalf("busy grid m=%v, want %v", mBusy, base*1.5)
+	}
+	idleGrid := NewWeather(stubWeather{rep: weather.Report{GridUtilization: 0.0}, ok: true})
+	idleGrid.Blend = 0
+	mIdle, _ := idleGrid.Multiplier(0, contract(), idle())
+	if math.Abs(mIdle-base*0.5) > 1e-9 {
+		t.Fatalf("idle grid m=%v, want %v", mIdle, base*0.5)
+	}
+}
+
+func TestWeatherMarketAnchor(t *testing.T) {
+	rep := weather.Report{
+		GridUtilization:   0.5, // neutral pressure
+		Contracts:         10,
+		MeanMultiplier:    2.0,
+		BucketMultipliers: map[string]float64{"medium": 2.5},
+	}
+	w := NewWeather(stubWeather{rep: rep, ok: true})
+	w.Blend = 1.0 // pure anchoring
+	// contract() has MaxPE 16 → "medium" bucket.
+	m, _ := w.Multiplier(0, contract(), idle())
+	if math.Abs(m-2.5) > 1e-9 {
+		t.Fatalf("anchored m=%v, want bucket mean 2.5", m)
+	}
+	// Without a bucket match it anchors to the overall mean.
+	rep.BucketMultipliers = nil
+	w = NewWeather(stubWeather{rep: rep, ok: true})
+	w.Blend = 1.0
+	m, _ = w.Multiplier(0, contract(), idle())
+	if math.Abs(m-2.0) > 1e-9 {
+		t.Fatalf("anchored m=%v, want overall mean 2.0", m)
+	}
+}
+
+func TestWeatherNeverNegative(t *testing.T) {
+	w := NewWeather(stubWeather{rep: weather.Report{GridUtilization: 0}, ok: true})
+	w.Gamma = 10 // extreme discount pressure
+	w.Blend = 0
+	m, ok := w.Multiplier(0, contract(), idle())
+	if !ok || m < 0 {
+		t.Fatalf("m=%v ok=%v", m, ok)
+	}
+}
+
+func TestWeatherSetSource(t *testing.T) {
+	w := NewWeather(nil)
+	w.SetSource(stubWeather{rep: weather.Report{GridUtilization: 1}, ok: true})
+	w.Blend = 0
+	base, _ := NewUtilization().Multiplier(0, contract(), idle())
+	m, _ := w.Multiplier(0, contract(), idle())
+	if m <= base {
+		t.Fatal("installed source had no effect")
+	}
+}

@@ -1,0 +1,493 @@
+// Package central implements the Faucets Central Server (FS), the heart
+// of the system (paper §2): it maintains the list of available Compute
+// Servers and refreshes it by periodically polling the corresponding
+// Faucets Daemons, keeps the list of applications clients can run,
+// authenticates the users of the system, stores the directory of Compute
+// Servers (max processors, memory, CPU type, FD address), answers the
+// daemons' credential re-verification requests (§2.2), applies the
+// static and dynamic matching filters of §5.1, keeps the contract
+// history that §5.2.1 promises bid generators, and runs the credit
+// ledger for the bartering context (§5.5.3).
+package central
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"faucets/internal/accounting"
+	"faucets/internal/auth"
+	"faucets/internal/db"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+	"faucets/internal/weather"
+)
+
+// regEntry is one registered Faucets Daemon.
+type regEntry struct {
+	info     protocol.ServerInfo
+	lastSeen time.Time
+	alive    bool
+	dyn      protocol.PollOK
+}
+
+// Server is the Faucets Central Server.
+type Server struct {
+	Auth *auth.Authenticator
+	DB   *db.DB
+	Acct *accounting.Accountant
+
+	mu       sync.Mutex
+	registry map[string]*regEntry
+	peers    []string
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	conns    map[net.Conn]struct{}
+
+	// DeadAfter is how long a daemon may go unpolled/unseen before the
+	// directory marks it unavailable.
+	DeadAfter time.Duration
+	// Dial is the poller's connection factory (overridable in tests).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// New returns a Central Server in the given economic mode.
+func New(mode accounting.Mode) *Server {
+	return NewWithDB(mode, db.New())
+}
+
+// NewWithDB returns a Central Server backed by an existing database —
+// used to resume from a JSON snapshot (db.Load).
+func NewWithDB(mode accounting.Mode, store *db.DB) *Server {
+	return &Server{
+		Auth:      auth.New(24 * time.Hour),
+		DB:        store,
+		Acct:      accounting.New(mode, store),
+		registry:  map[string]*regEntry{},
+		conns:     map[net.Conn]struct{}{},
+		closed:    make(chan struct{}),
+		DeadAfter: 30 * time.Second,
+		Dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		},
+	}
+}
+
+// RegisterDaemon records (or refreshes) a daemon's directory entry.
+func (s *Server) RegisterDaemon(info protocol.ServerInfo) error {
+	if err := info.Spec.Validate(); err != nil {
+		return fmt.Errorf("central: register: %w", err)
+	}
+	if info.Home == "" {
+		info.Home = info.Spec.Name
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registry[info.Spec.Name] = &regEntry{info: info, lastSeen: time.Now(), alive: true}
+	return nil
+}
+
+// Deregister removes a daemon from the directory.
+func (s *Server) Deregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.registry, name)
+}
+
+// MarkSeen refreshes a daemon's liveness with fresh dynamic state.
+func (s *Server) MarkSeen(name string, dyn protocol.PollOK) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.registry[name]; ok {
+		e.lastSeen = time.Now()
+		e.alive = true
+		e.dyn = dyn
+	}
+}
+
+// MarkDead flags a daemon as unavailable (poll failure).
+func (s *Server) MarkDead(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.registry[name]; ok {
+		e.alive = false
+	}
+}
+
+// Servers returns directory entries matching the contract, applying the
+// §5.1 filters: static properties (processor count, per-PE memory,
+// exported applications) and dynamic properties (daemon liveness). A nil
+// contract lists every live server.
+func (s *Server) Servers(c *qos.Contract) []protocol.ServerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	var out []protocol.ServerInfo
+	for _, e := range s.registry {
+		if !e.alive || now.Sub(e.lastSeen) > s.DeadAfter {
+			continue
+		}
+		if c != nil && !matches(e.info, c) {
+			continue
+		}
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// matches applies the static filters.
+func matches(info protocol.ServerInfo, c *qos.Contract) bool {
+	if info.Spec.NumPE < c.MinPE {
+		return false
+	}
+	if !c.FitsMemory(c.MinPE, info.Spec.MemPerPE) {
+		return false
+	}
+	if len(info.Apps) > 0 {
+		found := false
+		for _, a := range info.Apps {
+			if a == c.App {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Apps returns the union of applications exported by live servers — the
+// "Known Applications" catalogue of §2.2.
+func (s *Server) Apps() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]struct{}{}
+	for _, e := range s.registry {
+		if !e.alive {
+			continue
+		}
+		for _, a := range e.info.Apps {
+			set[a] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Settle books a finished job: billing (and bartering transfer) plus the
+// contract history used by §5.2.1 bid generators. The daemon holds no
+// accounting information (§2.2), so the user's home cluster is resolved
+// here when the request leaves it blank.
+func (s *Server) Settle(req protocol.SettleReq) error {
+	if req.HomeCluster == "" {
+		req.HomeCluster = s.Auth.HomeCluster(req.User)
+	}
+	if err := s.Acct.Settle(req.JobID, req.User, req.HomeCluster, req.Server, req.Price); err != nil {
+		return err
+	}
+	mult := 0.0
+	if req.CPUSeconds > 0 {
+		mult = req.Price / req.CPUSeconds
+	}
+	s.DB.AppendContract(db.ContractRecord{
+		Time: float64(time.Now().UnixNano()) / 1e9, JobID: req.JobID,
+		Server: req.Server, Price: req.Price, Multiplier: mult,
+	})
+	return nil
+}
+
+// Weather computes the grid-weather report of §5.2.1 from the live
+// fleet's dynamic state and the settled-contract history.
+func (s *Server) Weather() weather.Report {
+	s.mu.Lock()
+	used, total, servers := 0, 0, 0
+	now := time.Now()
+	for _, e := range s.registry {
+		if !e.alive || now.Sub(e.lastSeen) > s.DeadAfter {
+			continue
+		}
+		servers++
+		used += e.dyn.UsedPE
+		total += e.info.Spec.NumPE
+	}
+	s.mu.Unlock()
+	return weather.Compute(float64(now.UnixNano())/1e9, used, total, servers, s.DB)
+}
+
+// PollOnce probes every registered daemon and updates liveness; it
+// returns how many daemons answered.
+func (s *Server) PollOnce() int {
+	s.mu.Lock()
+	targets := make(map[string]string, len(s.registry))
+	for name, e := range s.registry {
+		targets[name] = e.info.Addr
+	}
+	s.mu.Unlock()
+	alive := 0
+	for name, addr := range targets {
+		conn, err := s.Dial(addr)
+		if err != nil {
+			s.MarkDead(name)
+			continue
+		}
+		var dyn protocol.PollOK
+		err = protocol.Call(conn, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn)
+		conn.Close()
+		if err != nil {
+			s.MarkDead(name)
+			continue
+		}
+		s.MarkSeen(name, dyn)
+		alive++
+	}
+	return alive
+}
+
+// StartPolling launches the background refresh loop (paper §2: the FS
+// "refreshes the list by periodically polling the corresponding FDs").
+func (s *Server) StartPolling(interval time.Duration) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.closed:
+				return
+			case <-ticker.C:
+				s.PollOnce()
+			}
+		}
+	}()
+}
+
+// Serve accepts client and daemon connections until Close.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			log.Printf("central: accept: %v", err)
+			return
+		}
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.track(conn, false)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// track adds or removes a live connection.
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Close shuts the server down, severing live connections, and waits for
+// handlers and pollers.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.mu.Lock()
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+}
+
+// errAuth is the uniform authentication failure sent to clients.
+var errAuth = errors.New("central: authentication failed")
+
+// handle dispatches frames on one connection until it closes.
+func (s *Server) handle(conn net.Conn) {
+	for {
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(conn, f); err != nil {
+			_ = protocol.WriteError(conn, err.Error())
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, f protocol.Frame) error {
+	switch f.Type {
+	case protocol.TypeAuthReq:
+		var req protocol.AuthReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		token, err := s.Auth.Login(req.User, req.Password)
+		if err != nil {
+			return errAuth
+		}
+		return protocol.WriteFrame(conn, protocol.TypeAuthOK, protocol.AuthOK{Token: token})
+
+	case protocol.TypeListServersReq:
+		var req protocol.ListServersReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if _, err := s.Auth.Verify(req.Token); err != nil {
+			return errAuth
+		}
+		if req.Contract != nil {
+			if err := req.Contract.Validate(); err != nil {
+				return err
+			}
+		}
+		return protocol.WriteFrame(conn, protocol.TypeListServersOK,
+			protocol.ListServersOK{Servers: s.FederatedServers(req.Contract)})
+
+	case protocol.TypePeerListReq:
+		// Peer directory exchange (§5.1 distributed Faucets system):
+		// answer with the LOCAL directory only, so federation queries
+		// never recurse through the peer graph.
+		var req protocol.PeerListReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if req.Contract != nil {
+			if err := req.Contract.Validate(); err != nil {
+				return err
+			}
+		}
+		return protocol.WriteFrame(conn, protocol.TypeListServersOK,
+			protocol.ListServersOK{Servers: s.Servers(req.Contract)})
+
+	case protocol.TypeListAppsReq:
+		var req protocol.ListAppsReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if _, err := s.Auth.Verify(req.Token); err != nil {
+			return errAuth
+		}
+		return protocol.WriteFrame(conn, protocol.TypeListAppsOK, protocol.ListAppsOK{Apps: s.Apps()})
+
+	case protocol.TypeCreditsReq:
+		var req protocol.CreditsReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if _, err := s.Auth.Verify(req.Token); err != nil {
+			return errAuth
+		}
+		return protocol.WriteFrame(conn, protocol.TypeCreditsOK,
+			protocol.CreditsOK{Cluster: req.Cluster, Credits: s.DB.Credits(req.Cluster)})
+
+	case protocol.TypeRegisterReq:
+		var req protocol.RegisterReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := s.RegisterDaemon(req.Info); err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeRegisterOK, protocol.RegisterOK{})
+
+	case protocol.TypeVerifyReq:
+		var req protocol.VerifyReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := s.Auth.VerifyUser(req.User, req.Token); err != nil {
+			// Federated authentication (§5.1): the user may hold an
+			// account on a peer Central Server.
+			if !s.verifyViaPeers(req.User, req.Token) {
+				return errAuth
+			}
+		}
+		return protocol.WriteFrame(conn, protocol.TypeVerifyOK, protocol.VerifyOK{User: req.User})
+
+	case protocol.TypePeerVerifyReq:
+		var req protocol.PeerVerifyReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		// Local store only: peer verification never relays onward.
+		if err := s.Auth.VerifyUser(req.User, req.Token); err != nil {
+			return errAuth
+		}
+		return protocol.WriteFrame(conn, protocol.TypeVerifyOK, protocol.VerifyOK{User: req.User})
+
+	case protocol.TypeSettleReq:
+		var req protocol.SettleReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := s.Settle(req); err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeSettleOK, protocol.SettleOK{})
+
+	case protocol.TypeHistoryReq:
+		var req protocol.HistoryReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		limit := req.Limit
+		if limit <= 0 || limit > 500 {
+			limit = 100
+		}
+		bucket := weather.Bucket(req.MaxPE)
+		recs := s.DB.RecentContracts(func(r db.ContractRecord) bool {
+			return weather.Bucket(r.MaxPE) == bucket
+		}, limit)
+		out := make([]protocol.HistoryRecord, len(recs))
+		for i, r := range recs {
+			out[i] = protocol.HistoryRecord{Time: r.Time, App: r.App, MinPE: r.MinPE, MaxPE: r.MaxPE, Multiplier: r.Multiplier}
+		}
+		return protocol.WriteFrame(conn, protocol.TypeHistoryOK, protocol.HistoryOK{Records: out})
+
+	case protocol.TypeWeatherReq:
+		r := s.Weather()
+		return protocol.WriteFrame(conn, protocol.TypeWeatherOK, protocol.WeatherOK{
+			Time: r.Time, GridUtilization: r.GridUtilization,
+			Servers: r.Servers, TotalPE: r.TotalPE, Contracts: r.Contracts,
+			MeanMultiplier: r.MeanMultiplier, BucketMultipliers: r.BucketMultipliers,
+		})
+
+	default:
+		return fmt.Errorf("central: unsupported frame %q", f.Type)
+	}
+}

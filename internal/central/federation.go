@@ -1,0 +1,119 @@
+package central
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+)
+
+// Federation implements the distributed Faucets system §5.1 anticipates:
+// "in future, the broadcast itself will be handled by a distributed
+// Faucets system, making the potential-server selection scale up, even
+// in the presence of millions of job submissions a day."
+//
+// Each Central Server may be given peer addresses. A federated directory
+// query merges the local directory with each peer's (already filtered)
+// directory, so clients keep a single point of contact while Compute
+// Servers register with whichever Central Server is closest. Peers that
+// fail to answer are skipped — a partitioned federation degrades to the
+// local view instead of failing.
+
+// SetPeers installs the peer Central Server addresses.
+func (s *Server) SetPeers(addrs []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append([]string(nil), addrs...)
+}
+
+// Peers returns the configured peer addresses.
+func (s *Server) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.peers...)
+}
+
+// FederatedServers returns the union of the local filtered directory and
+// every reachable peer's filtered directory, deduplicated by server name
+// (local entries win) and sorted by name.
+func (s *Server) FederatedServers(c *qos.Contract) []protocol.ServerInfo {
+	local := s.Servers(c)
+	peers := s.Peers()
+	if len(peers) == 0 {
+		return local
+	}
+	seen := make(map[string]bool, len(local))
+	for _, info := range local {
+		seen[info.Spec.Name] = true
+	}
+	out := local
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, addr := range peers {
+		addr := addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			remote, err := s.queryPeer(addr, c)
+			if err != nil {
+				return // unreachable peer: degrade to the rest
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, info := range remote {
+				if !seen[info.Spec.Name] {
+					seen[info.Spec.Name] = true
+					out = append(out, info)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// verifyViaPeers asks each peer to vouch for a user's token; the first
+// positive answer wins. Used when a daemon relays credentials of a user
+// whose account lives on another Central Server in the federation.
+func (s *Server) verifyViaPeers(user, token string) bool {
+	for _, addr := range s.Peers() {
+		conn, err := s.Dial(addr)
+		if err != nil {
+			continue
+		}
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		var ok protocol.VerifyOK
+		err = protocol.Call(conn, protocol.TypePeerVerifyReq,
+			protocol.PeerVerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
+		conn.Close()
+		if err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// queryPeer fetches a peer's filtered directory. Peer queries use the
+// federation token so peers don't need shared user accounts.
+func (s *Server) queryPeer(addr string, c *qos.Contract) ([]protocol.ServerInfo, error) {
+	conn, err := s.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(1 << 16)
+	}
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	var reply protocol.ListServersOK
+	err = protocol.Call(conn, protocol.TypePeerListReq,
+		protocol.PeerListReq{Contract: c}, protocol.TypeListServersOK, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Servers, nil
+}

@@ -1,0 +1,166 @@
+package central
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"faucets/internal/accounting"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+)
+
+// federate boots n Central Servers, fully meshed.
+func federate(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		servers[i] = New(accounting.Dollars)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		go servers[i].Serve(l)
+		t.Cleanup(servers[i].Close)
+	}
+	for i, s := range servers {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		s.SetPeers(peers)
+	}
+	return servers, addrs
+}
+
+func TestFederatedDirectoryUnion(t *testing.T) {
+	servers, _ := federate(t, 3)
+	_ = servers[0].RegisterDaemon(info("alpha", 64, 1024, "synth"))
+	_ = servers[1].RegisterDaemon(info("beta", 128, 2048, "synth"))
+	_ = servers[2].RegisterDaemon(info("gamma", 32, 512, "synth"))
+
+	union := servers[0].FederatedServers(nil)
+	if len(union) != 3 {
+		t.Fatalf("union=%d servers: %v", len(union), union)
+	}
+	if union[0].Spec.Name != "alpha" || union[1].Spec.Name != "beta" || union[2].Spec.Name != "gamma" {
+		t.Fatalf("union order: %v", union)
+	}
+	// Filters apply across the federation.
+	big := servers[2].FederatedServers(&qos.Contract{App: "synth", MinPE: 100, MaxPE: 128, Work: 1})
+	if len(big) != 1 || big[0].Spec.Name != "beta" {
+		t.Fatalf("federated filter: %v", big)
+	}
+}
+
+func TestFederationDeduplicatesByName(t *testing.T) {
+	servers, _ := federate(t, 2)
+	// The same compute server registered with both peers (e.g. during a
+	// failover) appears once, with the local entry winning.
+	local := info("dup", 64, 1024)
+	local.Addr = "local:1"
+	remote := info("dup", 64, 1024)
+	remote.Addr = "remote:1"
+	_ = servers[0].RegisterDaemon(local)
+	_ = servers[1].RegisterDaemon(remote)
+	union := servers[0].FederatedServers(nil)
+	if len(union) != 1 {
+		t.Fatalf("union=%v", union)
+	}
+	if union[0].Addr != "local:1" {
+		t.Fatalf("local entry must win: %v", union[0].Addr)
+	}
+}
+
+func TestFederationDegradesWhenPeerDown(t *testing.T) {
+	s := New(accounting.Dollars)
+	defer s.Close()
+	_ = s.RegisterDaemon(info("solo", 8, 512))
+	s.SetPeers([]string{"127.0.0.1:1"}) // nothing listens here
+	start := time.Now()
+	union := s.FederatedServers(nil)
+	if len(union) != 1 || union[0].Spec.Name != "solo" {
+		t.Fatalf("union=%v", union)
+	}
+	if time.Since(start) > 8*time.Second {
+		t.Fatal("dead peer stalled the query")
+	}
+}
+
+func TestClientSeesFederationOverTheWire(t *testing.T) {
+	servers, addrs := federate(t, 2)
+	_ = servers[0].Auth.AddUser("alice", "pw", "")
+	_ = servers[0].RegisterDaemon(info("near", 64, 1024))
+	_ = servers[1].RegisterDaemon(info("far", 64, 1024))
+
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var ok protocol.AuthOK
+	if err := protocol.Call(conn, protocol.TypeAuthReq, protocol.AuthReq{User: "alice", Password: "pw"}, protocol.TypeAuthOK, &ok); err != nil {
+		t.Fatal(err)
+	}
+	var ls protocol.ListServersOK
+	if err := protocol.Call(conn, protocol.TypeListServersReq, protocol.ListServersReq{Token: ok.Token}, protocol.TypeListServersOK, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Servers) != 2 {
+		t.Fatalf("client saw %d servers, want the 2-server federation: %v", len(ls.Servers), ls.Servers)
+	}
+}
+
+func TestPeerListDoesNotRecurse(t *testing.T) {
+	// A peer query answers with the local view only — even when the
+	// answering server itself has peers — so cycles terminate.
+	servers, addrs := federate(t, 2)
+	_ = servers[1].RegisterDaemon(info("remote-only", 8, 512))
+	// Query server 1's peer endpoint directly: must include only its
+	// local registrations, not trigger a fan-out back to server 0.
+	conn, err := net.Dial("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var ls protocol.ListServersOK
+	if err := protocol.Call(conn, protocol.TypePeerListReq, protocol.PeerListReq{}, protocol.TypeListServersOK, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Servers) != 1 || ls.Servers[0].Spec.Name != "remote-only" {
+		t.Fatalf("peer list: %v", ls.Servers)
+	}
+}
+
+func TestFederatedVerification(t *testing.T) {
+	servers, addrs := federate(t, 2)
+	// Alice's account lives on server 0 only.
+	_ = servers[0].Auth.AddUser("alice", "pw", "")
+	token, err := servers[0].Auth.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server 1 does not know alice locally…
+	if err := servers[1].Auth.VerifyUser("alice", token); err == nil {
+		t.Fatal("server 1 should not know alice locally")
+	}
+	// …but a daemon attached to it relays her credentials and the peer
+	// vouches for her.
+	conn, err := net.Dial("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var ok protocol.VerifyOK
+	if err := protocol.Call(conn, protocol.TypeVerifyReq, protocol.VerifyReq{User: "alice", Token: token}, protocol.TypeVerifyOK, &ok); err != nil {
+		t.Fatalf("federated verification failed: %v", err)
+	}
+	// A bogus token is rejected everywhere.
+	if err := protocol.Call(conn, protocol.TypeVerifyReq, protocol.VerifyReq{User: "alice", Token: "forged"}, protocol.TypeVerifyOK, &ok); err == nil {
+		t.Fatal("forged token verified via federation")
+	}
+}

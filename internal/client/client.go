@@ -1,0 +1,378 @@
+// Package client implements the Faucets Client (FC) library behind the
+// paper's command-line, GUI and browser clients (§2, Fig 2): authenticate
+// to the Faucets Central Server, obtain the list of matching Compute
+// Servers, solicit bids from each server's Faucets Daemon, choose the
+// best bid under a selection criterion, commit, upload input files,
+// start the job, and monitor it via AppSpector (Fig 3).
+package client
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"faucets/internal/bidding"
+	"faucets/internal/market"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+	"faucets/internal/stage"
+)
+
+// Client is an authenticated Faucets session.
+type Client struct {
+	CentralAddr    string
+	AppSpectorAddr string
+	User           string
+	Token          string
+	// DialTimeout bounds every connection attempt.
+	DialTimeout time.Duration
+	// UploadChunk is the staging chunk size in bytes.
+	UploadChunk int
+}
+
+// Login authenticates with the Central Server and returns a session.
+func Login(centralAddr, user, password string) (*Client, error) {
+	c := &Client{CentralAddr: centralAddr, User: user, DialTimeout: 5 * time.Second, UploadChunk: 1 << 20}
+	conn, err := c.dial(centralAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var ok protocol.AuthOK
+	if err := protocol.Call(conn, protocol.TypeAuthReq, protocol.AuthReq{User: user, Password: password}, protocol.TypeAuthOK, &ok); err != nil {
+		return nil, fmt.Errorf("client: login: %w", err)
+	}
+	c.Token = ok.Token
+	return c, nil
+}
+
+func (c *Client) dial(addr string) (net.Conn, error) {
+	timeout := c.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// ListServers asks the Central Server for Compute Servers matching the
+// contract (nil lists all).
+func (c *Client) ListServers(contract *qos.Contract) ([]protocol.ServerInfo, error) {
+	conn, err := c.dial(c.CentralAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var reply protocol.ListServersOK
+	err = protocol.Call(conn, protocol.TypeListServersReq,
+		protocol.ListServersReq{Token: c.Token, Contract: contract},
+		protocol.TypeListServersOK, &reply)
+	if err != nil {
+		return nil, fmt.Errorf("client: list servers: %w", err)
+	}
+	return reply.Servers, nil
+}
+
+// ListApps fetches the grid's Known Applications catalogue.
+func (c *Client) ListApps() ([]string, error) {
+	conn, err := c.dial(c.CentralAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var reply protocol.ListAppsOK
+	if err := protocol.Call(conn, protocol.TypeListAppsReq, protocol.ListAppsReq{Token: c.Token}, protocol.TypeListAppsOK, &reply); err != nil {
+		return nil, fmt.Errorf("client: list apps: %w", err)
+	}
+	return reply.Apps, nil
+}
+
+// Credits queries a cluster's bartering balance.
+func (c *Client) Credits(cluster string) (float64, error) {
+	conn, err := c.dial(c.CentralAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	var reply protocol.CreditsOK
+	if err := protocol.Call(conn, protocol.TypeCreditsReq, protocol.CreditsReq{Token: c.Token, Cluster: cluster}, protocol.TypeCreditsOK, &reply); err != nil {
+		return 0, fmt.Errorf("client: credits: %w", err)
+	}
+	return reply.Credits, nil
+}
+
+// fdPort adapts a Faucets Daemon socket endpoint to market.ServerPort.
+// Bid expiry is evaluated by the daemon (each daemon runs its own
+// clock), so the port passes the market layer a zero "now".
+type fdPort struct {
+	c    *Client
+	info protocol.ServerInfo
+}
+
+func (p *fdPort) ServerName() string { return p.info.Spec.Name }
+
+func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, bool) {
+	conn, err := p.c.dial(p.info.Addr)
+	if err != nil {
+		return bidding.Bid{}, false
+	}
+	defer conn.Close()
+	var reply protocol.BidOK
+	err = protocol.Call(conn, protocol.TypeBidReq,
+		protocol.BidReq{User: p.c.User, Token: p.c.Token, Contract: contract},
+		protocol.TypeBidOK, &reply)
+	if err != nil {
+		return bidding.Bid{}, false
+	}
+	b := reply.Bid
+	// Expiry is daemon-local; neutralize it for client-side comparison.
+	b.ExpiresAt = 0
+	return b, true
+}
+
+func (p *fdPort) Commit(_ float64, jobID string, b bidding.Bid) error {
+	conn, err := p.c.dial(p.info.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var reply protocol.CommitOK
+	return protocol.Call(conn, protocol.TypeCommitReq,
+		protocol.CommitReq{User: p.c.User, Token: p.c.Token, JobID: jobID, Bid: b},
+		protocol.TypeCommitOK, &reply)
+}
+
+// Placement is a job awarded to a Compute Server.
+type Placement struct {
+	JobID    string
+	Server   protocol.ServerInfo
+	Bid      bidding.Bid
+	Contract *qos.Contract
+	// Attempts is the number of commit attempts the award needed.
+	Attempts int
+}
+
+// ErrNoServers is returned when the directory has no match for the job.
+var ErrNoServers = errors.New("client: no matching compute servers")
+
+// NewJobID mints a unique job identifier.
+func NewJobID() string {
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return fmt.Sprintf("job-%d", time.Now().UnixNano())
+	}
+	return "job-" + hex.EncodeToString(raw[:])
+}
+
+// Place runs the full §5 selection for a contract: filtered server list
+// from the FS, request-for-bids to each FD, criterion-ranked two-phase
+// award. It does not upload files or start the job — see Upload and
+// Start.
+func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placement, error) {
+	if err := contract.Validate(); err != nil {
+		return nil, err
+	}
+	if crit == nil {
+		crit = market.LeastCost{}
+	}
+	servers, err := c.ListServers(contract)
+	if err != nil {
+		return nil, err
+	}
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	ports := make([]market.ServerPort, len(servers))
+	byName := make(map[string]protocol.ServerInfo, len(servers))
+	for i, info := range servers {
+		ports[i] = &fdPort{c: c, info: info}
+		byName[info.Spec.Name] = info
+	}
+	jobID := NewJobID()
+	res, err := market.Award(0, ports, contract, crit, jobID)
+	if err != nil {
+		return nil, fmt.Errorf("client: award: %w", err)
+	}
+	return &Placement{
+		JobID:    jobID,
+		Server:   byName[res.Bid.Server],
+		Bid:      res.Bid,
+		Contract: contract,
+		Attempts: res.Attempts,
+	}, nil
+}
+
+// Upload stages one input file to the awarded daemon in chunks with an
+// integrity digest.
+func (c *Client) Upload(p *Placement, name string, data []byte) error {
+	conn, err := c.dial(p.Server.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	chunk := c.UploadChunk
+	if chunk <= 0 {
+		chunk = 1 << 20
+	}
+	digest := stage.Digest(data)
+	off := 0
+	for {
+		end := off + chunk
+		last := false
+		if end >= len(data) {
+			end = len(data)
+			last = true
+		}
+		req := protocol.UploadReq{JobID: p.JobID, Name: name, Offset: int64(off), Data: data[off:end], Last: last}
+		if last {
+			req.SHA256 = digest
+		}
+		var reply protocol.UploadOK
+		if err := protocol.Call(conn, protocol.TypeUploadReq, req, protocol.TypeUploadOK, &reply); err != nil {
+			return fmt.Errorf("client: upload %s: %w", name, err)
+		}
+		if last {
+			return nil
+		}
+		off = end
+	}
+}
+
+// Start submits the committed job for execution.
+func (c *Client) Start(p *Placement) error {
+	conn, err := c.dial(p.Server.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var reply protocol.SubmitOK
+	return protocol.Call(conn, protocol.TypeSubmitReq,
+		protocol.SubmitReq{User: c.User, Token: c.Token, JobID: p.JobID, Contract: p.Contract},
+		protocol.TypeSubmitOK, &reply)
+}
+
+// Status queries the job's current state from its daemon.
+func (c *Client) Status(p *Placement) (protocol.StatusOK, error) {
+	conn, err := c.dial(p.Server.Addr)
+	if err != nil {
+		return protocol.StatusOK{}, err
+	}
+	defer conn.Close()
+	var reply protocol.StatusOK
+	err = protocol.Call(conn, protocol.TypeStatusReq,
+		protocol.StatusReq{Token: c.Token, JobID: p.JobID},
+		protocol.TypeStatusOK, &reply)
+	return reply, err
+}
+
+// WaitFinished polls until the job reaches a terminal state or the
+// timeout elapses.
+func (c *Client) WaitFinished(p *Placement, timeout time.Duration) (protocol.StatusOK, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(p)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "finished", "rejected", "killed":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("client: job %s still %s after %v", p.JobID, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Kill terminates the job on its daemon (only the submitting user may).
+func (c *Client) Kill(p *Placement) (protocol.KillOK, error) {
+	conn, err := c.dial(p.Server.Addr)
+	if err != nil {
+		return protocol.KillOK{}, err
+	}
+	defer conn.Close()
+	var reply protocol.KillOK
+	err = protocol.Call(conn, protocol.TypeKillReq,
+		protocol.KillReq{User: c.User, Token: c.Token, JobID: p.JobID},
+		protocol.TypeKillOK, &reply)
+	return reply, err
+}
+
+// FetchOutput downloads a complete output file from the daemon.
+func (c *Client) FetchOutput(p *Placement, name string) ([]byte, error) {
+	conn, err := c.dial(p.Server.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var out []byte
+	off := int64(0)
+	for {
+		var reply protocol.OutputOK
+		err := protocol.Call(conn, protocol.TypeOutputReq,
+			protocol.OutputReq{Token: c.Token, JobID: p.JobID, Name: name, Offset: off, Limit: 1 << 20},
+			protocol.TypeOutputOK, &reply)
+		if err != nil {
+			return nil, fmt.Errorf("client: fetch %s: %w", name, err)
+		}
+		out = append(out, reply.Data...)
+		off += int64(len(reply.Data))
+		if reply.EOF {
+			if reply.SHA256 != "" && reply.SHA256 != stage.Digest(out) {
+				return nil, fmt.Errorf("client: fetch %s: integrity check failed", name)
+			}
+			return out, nil
+		}
+	}
+}
+
+// Watch streams a job's AppSpector telemetry to fn until the stream ends
+// or fn returns false. FromStart replays the buffered history first.
+func (c *Client) Watch(jobID string, fromStart bool, fn func(protocol.Telemetry) bool) error {
+	if c.AppSpectorAddr == "" {
+		return errors.New("client: no AppSpector address configured")
+	}
+	conn, err := c.dial(c.AppSpectorAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := protocol.WriteFrame(conn, protocol.TypeWatchReq, protocol.WatchReq{Token: c.Token, JobID: jobID, FromStart: fromStart}); err != nil {
+		return err
+	}
+	f, err := protocol.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if f.Type == protocol.TypeError {
+		var e protocol.ErrorBody
+		_ = protocol.Decode(f, protocol.TypeError, &e)
+		return fmt.Errorf("client: watch: %s", e.Message)
+	}
+	if f.Type != protocol.TypeWatchOK {
+		return fmt.Errorf("client: watch: unexpected frame %q", f.Type)
+	}
+	for {
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		if f.Type == protocol.TypeWatchEnd {
+			return nil
+		}
+		var t protocol.Telemetry
+		if err := protocol.Decode(f, protocol.TypeTelemetry, &t); err != nil {
+			return err
+		}
+		if !fn(t) {
+			return nil
+		}
+	}
+}

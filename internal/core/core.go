@@ -1,0 +1,122 @@
+// Package core is the public face of the Faucets library: the paper's
+// primary contribution — market-efficient allocation of QoS-carrying
+// parallel jobs onto bidding, adaptive Compute Servers — composed from
+// the subsystem packages and exposed as two entry points:
+//
+//   - NewSystem boots a live grid (real TCP daemons, paper Fig 1) and
+//     returns a connected client session.
+//   - Simulate runs the discrete-event simulation framework (paper §5.4)
+//     over a workload trace and returns its measurements.
+//
+// Types that appear in user-facing signatures are re-exported as
+// aliases, so downstream code imports only this package for everyday
+// use and reaches into the subsystem packages for advanced
+// customization (custom bid generators, custom scheduling strategies,
+// custom selection criteria).
+package core
+
+import (
+	"faucets/internal/bidding"
+	"faucets/internal/grid"
+	"faucets/internal/gridsim"
+	"faucets/internal/machine"
+	"faucets/internal/market"
+	"faucets/internal/qos"
+	"faucets/internal/scheduler"
+	"faucets/internal/workload"
+)
+
+// Re-exported types: the vocabulary of the Faucets API.
+type (
+	// Contract is a job's QoS contract (paper §2.1).
+	Contract = qos.Contract
+	// Payoff is the soft/hard-deadline payoff function (paper §2.1).
+	Payoff = qos.Payoff
+	// MachineSpec describes a Compute Server's hardware.
+	MachineSpec = machine.Spec
+	// Bid is a priced offer from a Compute Server (paper §5.2).
+	Bid = bidding.Bid
+	// BidGenerator is the pluggable bid-generation interface the paper
+	// promises to publish (§5.3).
+	BidGenerator = bidding.Generator
+	// Criterion ranks bids client-side (§5.3).
+	Criterion = market.Criterion
+	// SchedulerConfig carries shared scheduler knobs.
+	SchedulerConfig = scheduler.Config
+	// WorkloadSpec parameterizes synthetic job-submission patterns.
+	WorkloadSpec = workload.Spec
+	// Trace is a reproducible submission schedule.
+	Trace = workload.Trace
+	// SimConfig configures a simulated grid (§5.4).
+	SimConfig = gridsim.Config
+	// SimServer configures one simulated Compute Server.
+	SimServer = gridsim.ServerConfig
+	// SimResult carries a simulation's measurements.
+	SimResult = gridsim.Result
+	// System is a live loopback Faucets deployment.
+	System = grid.Grid
+	// ClusterSpec describes one live Compute Server to boot.
+	ClusterSpec = grid.ClusterSpec
+	// SystemOptions configures a live deployment.
+	SystemOptions = grid.Options
+)
+
+// Selection criteria (paper §5.3: "least cost, or earliest promised
+// completion time").
+var (
+	LeastCost          Criterion = market.LeastCost{}
+	EarliestCompletion Criterion = market.EarliestCompletion{}
+)
+
+// NewSystem boots a live Faucets grid on loopback: a Central Server, an
+// AppSpector monitor, and one Faucets Daemon per cluster. Close it when
+// done.
+func NewSystem(clusters []ClusterSpec, opts SystemOptions) (*System, error) {
+	return grid.Start(clusters, opts)
+}
+
+// Simulate runs the §5.4 discrete-event simulation of a Faucets grid
+// over a workload trace.
+func Simulate(cfg SimConfig, trace *Trace) (*SimResult, error) {
+	return gridsim.Run(cfg, trace)
+}
+
+// GenerateWorkload builds a reproducible synthetic trace.
+func GenerateWorkload(spec WorkloadSpec) (*Trace, error) {
+	return workload.Generate(spec)
+}
+
+// DefaultWorkload returns a moderate mixed workload specification.
+func DefaultWorkload(seed uint64, jobs int, meanGap float64) WorkloadSpec {
+	return workload.Default(seed, jobs, meanGap)
+}
+
+// Scheduler factories, for SimServer.NewScheduler and
+// ClusterSpec.NewScheduler.
+var (
+	// FCFS is the rigid first-come-first-served baseline.
+	FCFS = func(sp MachineSpec, c SchedulerConfig) scheduler.Scheduler { return scheduler.NewFCFS(sp, c) }
+	// Backfill is rigid FCFS with EASY backfilling.
+	Backfill = func(sp MachineSpec, c SchedulerConfig) scheduler.Scheduler { return scheduler.NewBackfill(sp, c) }
+	// Equipartition is the adaptive strategy of [15] (§4.1).
+	Equipartition = func(sp MachineSpec, c SchedulerConfig) scheduler.Scheduler {
+		return scheduler.NewEquipartition(sp, c)
+	}
+	// ProfitScheduler is the payoff-aware admission strategy (§4.1).
+	ProfitScheduler = func(sp MachineSpec, c SchedulerConfig) scheduler.Scheduler { return scheduler.NewProfit(sp, c) }
+)
+
+// Bid generators (paper §5.2).
+var (
+	// BaselineBidder always bids multiplier 1.0.
+	BaselineBidder BidGenerator = bidding.Baseline{}
+)
+
+// UtilizationBidder returns the paper's load-sensitive strategy with its
+// published parameters k=1, α=0.5, β=2.0.
+func UtilizationBidder() BidGenerator { return bidding.NewUtilization() }
+
+// WeatherBidder returns the non-local grid-weather strategy of §5.2.1.
+// Inside a simulation, pass nil — the simulator wires the grid's own
+// state in; live daemons use daemon.CentralWeather as the source.
+func WeatherBidder(src bidding.WeatherSource) BidGenerator { return bidding.NewWeather(src) }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"faucets/internal/market"
+)
+
+func TestSimulateFacade(t *testing.T) {
+	trace, err := GenerateWorkload(DefaultWorkload(1, 30, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		Servers: []SimServer{
+			{Spec: MachineSpec{Name: "a", NumPE: 64, MemPerPE: 1024, Speed: 1, CostRate: 0.01}, NewScheduler: Equipartition, Bidder: UtilizationBidder()},
+			{Spec: MachineSpec{Name: "b", NumPE: 64, MemPerPE: 1024, Speed: 1, CostRate: 0.01}, NewScheduler: FCFS, Bidder: BaselineBidder},
+		},
+		Criterion: LeastCost,
+	}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed == 0 || res.Finished == 0 {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestNewSystemFacade(t *testing.T) {
+	sys, err := NewSystem([]ClusterSpec{
+		{Spec: MachineSpec{Name: "c1", NumPE: 32, MemPerPE: 1024, Speed: 1, CostRate: 0.01}, Apps: []string{"synth"}},
+	}, SystemOptions{Users: map[string]string{"u": "p"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cl, err := sys.Login("u", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.Place(&Contract{App: "synth", MinPE: 1, MaxPE: 8, Work: 100}, EarliestCompletion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(p); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.WaitFinished(p, 20*time.Second)
+	if err != nil || st.State != "finished" {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestCriteriaExported(t *testing.T) {
+	if LeastCost.Name() != (market.LeastCost{}).Name() {
+		t.Fatal("criterion mismatch")
+	}
+	if EarliestCompletion.Name() == "" {
+		t.Fatal("unnamed criterion")
+	}
+}
+
+func TestSchedulerFactoriesProduceDistinctStrategies(t *testing.T) {
+	sp := MachineSpec{Name: "m", NumPE: 8, MemPerPE: 512, Speed: 1, CostRate: 0.01}
+	names := map[string]bool{}
+	for _, f := range []func(MachineSpec, SchedulerConfig) interface{ Name() string }{
+		func(s MachineSpec, c SchedulerConfig) interface{ Name() string } { return FCFS(s, c) },
+		func(s MachineSpec, c SchedulerConfig) interface{ Name() string } { return Backfill(s, c) },
+		func(s MachineSpec, c SchedulerConfig) interface{ Name() string } { return Equipartition(s, c) },
+		func(s MachineSpec, c SchedulerConfig) interface{ Name() string } { return ProfitScheduler(s, c) },
+	} {
+		names[f(sp, SchedulerConfig{}).Name()] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("factories collapsed: %v", names)
+	}
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"faucets/internal/core"
+)
+
+// ExampleSimulate runs the paper's §5.4 discrete-event simulation over a
+// small synthetic workload and reports the headline statistics.
+func ExampleSimulate() {
+	trace, err := core.GenerateWorkload(core.DefaultWorkload(42, 20, 50))
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Simulate(core.SimConfig{
+		Servers: []core.SimServer{{
+			Spec:         core.MachineSpec{Name: "hpc", NumPE: 64, MemPerPE: 2048, Speed: 1, CostRate: 0.01},
+			NewScheduler: core.Equipartition,
+			Bidder:       core.BaselineBidder,
+		}},
+		Criterion: core.LeastCost,
+	}, trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("placed=%d finished=%d rejected=%d\n", res.Placed, res.Finished, res.Rejected)
+	// Output: placed=20 finished=20 rejected=0
+}
+
+// ExampleContract shows a quality-of-service contract (§2.1) with an
+// efficiency curve and a soft/hard-deadline payoff function.
+func ExampleContract() {
+	c := &core.Contract{
+		App:   "namd",
+		MinPE: 8, MaxPE: 64,
+		Work:   7200, // CPU-seconds on the reference machine
+		EffMin: 0.95, EffMax: 0.70,
+		Payoff: core.Payoff{Soft: 900, Hard: 1800, AtSoft: 120, AtHard: 30, Penalty: 60},
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wall time on 64 PEs: %.0fs\n", c.ExecTime(64, 1.0))
+	fmt.Printf("payoff if done in 600s: $%.0f\n", c.Payoff.Value(600))
+	fmt.Printf("payoff if done in 2000s: $%.0f\n", c.Payoff.Value(2000))
+	// Output:
+	// wall time on 64 PEs: 161s
+	// payoff if done in 600s: $120
+	// payoff if done in 2000s: $-60
+}

@@ -1,0 +1,701 @@
+// Package daemon implements the Faucets Daemon (FD), the agent through
+// which a Compute Server participates in the Faucets system (paper §2):
+// it listens on a well-known port, registers itself with the Faucets
+// Central Server at startup, relays bid requests to the local Cluster
+// Manager (the scheduler), accepts committed jobs and their input files,
+// starts jobs on the scheduler, registers running jobs with the
+// AppSpector server, streams their telemetry, and settles finished jobs
+// with the Central Server. "In essence, to the external world, FD is the
+// representative of the Compute Server to the faucets system."
+//
+// Job execution is the synthetic application model: a job consumes
+// CPU-seconds according to its QoS contract on the processors the
+// scheduler assigns, emitting output text and utilization telemetry as
+// it progresses. Config.TimeScale compresses virtual seconds into wall
+// seconds so integration tests run a "one hour" job in milliseconds.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"faucets/internal/bidding"
+	"faucets/internal/job"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+	"faucets/internal/scheduler"
+	"faucets/internal/stage"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// Info is the directory entry advertised to the Central Server;
+	// Info.Addr is filled from the listener if empty.
+	Info protocol.ServerInfo
+	// Scheduler is the local Cluster Manager.
+	Scheduler scheduler.Scheduler
+	// Bidder generates bids; defaults to the baseline strategy.
+	Bidder bidding.Generator
+	// CentralAddr is the Faucets Central Server ("" = standalone: no
+	// registration, verification, or settlement).
+	CentralAddr string
+	// AppSpectorAddr is the monitoring server ("" = no telemetry).
+	AppSpectorAddr string
+	// TimeScale is virtual seconds per wall second (default 1).
+	TimeScale float64
+	// BidValidity is how long bids stand, in virtual seconds.
+	BidValidity float64
+	// Tick is the wall-clock cadence of the execution loop.
+	Tick time.Duration
+	// ReRegister is how often the daemon refreshes its Central Server
+	// registration (default 30s wall time). A Central Server restart
+	// loses its in-memory directory; the heartbeat restores the entry
+	// without operator action.
+	ReRegister time.Duration
+}
+
+// reservation is a committed-but-not-yet-submitted contract (phase two
+// of §5.3 ahead of file upload).
+type reservation struct {
+	user     string
+	home     string
+	contract *qos.Contract
+	bid      bidding.Bid
+}
+
+// Daemon is a running FD.
+type Daemon struct {
+	cfg   Config
+	epoch time.Time
+
+	mu          sync.Mutex
+	jobs        map[string]*job.Job
+	owners      map[string]string
+	tempUsers   map[string]string
+	prices      map[string]float64
+	reserved    map[string]*reservation
+	outstanding float64
+	settledIDs  map[string]bool
+	tempSeq     uint64
+
+	Stage *stage.Store
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	conns    map[net.Conn]struct{}
+
+	asMu   sync.Mutex
+	asConn net.Conn
+}
+
+// New validates the config and returns a daemon (not yet serving).
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Scheduler == nil {
+		return nil, errors.New("daemon: no scheduler")
+	}
+	if err := cfg.Info.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	if cfg.Bidder == nil {
+		cfg.Bidder = bidding.Baseline{}
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.BidValidity <= 0 {
+		cfg.BidValidity = 300
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if cfg.ReRegister <= 0 {
+		cfg.ReRegister = 30 * time.Second
+	}
+	if cfg.Info.Home == "" {
+		cfg.Info.Home = cfg.Info.Spec.Name
+	}
+	return &Daemon{
+		cfg:        cfg,
+		epoch:      time.Now(),
+		jobs:       map[string]*job.Job{},
+		owners:     map[string]string{},
+		tempUsers:  map[string]string{},
+		prices:     map[string]float64{},
+		reserved:   map[string]*reservation{},
+		settledIDs: map[string]bool{},
+		conns:      map[net.Conn]struct{}{},
+		Stage:      stage.NewStore(),
+		closed:     make(chan struct{}),
+	}, nil
+}
+
+// Now returns the daemon's virtual time in seconds.
+func (d *Daemon) Now() float64 {
+	return time.Since(d.epoch).Seconds() * d.cfg.TimeScale
+}
+
+// Name returns the Compute Server name.
+func (d *Daemon) Name() string { return d.cfg.Info.Spec.Name }
+
+// Start begins serving on l, registers with the Central Server, and
+// launches the execution loop.
+func (d *Daemon) Start(l net.Listener) error {
+	d.mu.Lock()
+	d.listener = l
+	d.mu.Unlock()
+	if d.cfg.Info.Addr == "" {
+		d.cfg.Info.Addr = l.Addr().String()
+	}
+	if d.cfg.CentralAddr != "" {
+		if err := d.register(); err != nil {
+			return err
+		}
+	}
+	d.wg.Add(2)
+	go func() {
+		defer d.wg.Done()
+		d.serve(l)
+	}()
+	go func() {
+		defer d.wg.Done()
+		d.runLoop()
+	}()
+	if d.cfg.CentralAddr != "" {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.registerLoop()
+		}()
+	}
+	return nil
+}
+
+// registerLoop periodically re-registers with the Central Server so a
+// restarted FS rebuilds its directory without operator action.
+func (d *Daemon) registerLoop() {
+	ticker := time.NewTicker(d.cfg.ReRegister)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-ticker.C:
+			if err := d.register(); err != nil {
+				log.Printf("daemon %s: re-register: %v", d.Name(), err)
+			}
+		}
+	}
+}
+
+// track adds or removes a live connection.
+func (d *Daemon) track(conn net.Conn, add bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if add {
+		d.conns[conn] = struct{}{}
+	} else {
+		delete(d.conns, conn)
+	}
+}
+
+// Close stops the daemon, severing live connections, and waits for its
+// goroutines.
+func (d *Daemon) Close() {
+	select {
+	case <-d.closed:
+	default:
+		close(d.closed)
+	}
+	d.mu.Lock()
+	l := d.listener
+	for conn := range d.conns {
+		conn.Close()
+	}
+	d.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	d.asMu.Lock()
+	if d.asConn != nil {
+		d.asConn.Close()
+		d.asConn = nil
+	}
+	d.asMu.Unlock()
+	d.wg.Wait()
+}
+
+// register announces this daemon to the Central Server ("at startup each
+// FD registers itself with the Faucets Central Server").
+func (d *Daemon) register() error {
+	conn, err := net.DialTimeout("tcp", d.cfg.CentralAddr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("daemon: register dial: %w", err)
+	}
+	defer conn.Close()
+	var ok protocol.RegisterOK
+	return protocol.Call(conn, protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
+}
+
+// verify re-checks a client's credentials with the Central Server (§2.2).
+// Standalone daemons accept everyone.
+func (d *Daemon) verify(user, token string) error {
+	if d.cfg.CentralAddr == "" {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", d.cfg.CentralAddr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("daemon: verify dial: %w", err)
+	}
+	defer conn.Close()
+	var ok protocol.VerifyOK
+	return protocol.Call(conn, protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
+}
+
+// runLoop advances the scheduler in wall time, emitting telemetry and
+// settling finished jobs.
+func (d *Daemon) runLoop() {
+	ticker := time.NewTicker(d.cfg.Tick)
+	defer ticker.Stop()
+	lastTelemetry := 0.0
+	for {
+		select {
+		case <-d.closed:
+			return
+		case <-ticker.C:
+		}
+		now := d.Now()
+		d.mu.Lock()
+		finished := d.cfg.Scheduler.Advance(now)
+		var samples []protocol.Telemetry
+		if now-lastTelemetry >= 1.0 {
+			lastTelemetry = now
+			for _, j := range d.jobs {
+				if j.State() == job.Running {
+					samples = append(samples, snapshotTelemetry(now, j, ""))
+				}
+			}
+		}
+		d.mu.Unlock()
+
+		for _, j := range finished {
+			d.finishJob(now, j)
+		}
+		// Telemetry cadence: every virtual second is plenty.
+		for _, s := range samples {
+			d.emitTelemetry(s)
+		}
+	}
+}
+
+// finishJob settles and reports a completed job.
+func (d *Daemon) finishJob(now float64, j *job.Job) {
+	id := string(j.ID)
+	d.mu.Lock()
+	if d.settledIDs[id] {
+		d.mu.Unlock()
+		return
+	}
+	d.settledIDs[id] = true
+	d.outstanding -= j.Contract.Work
+	if d.outstanding < 0 {
+		d.outstanding = 0
+	}
+	price := d.prices[id]
+	owner := d.owners[id]
+	cpuUsed := j.CPUUsed()
+	sample := snapshotTelemetry(now, j, fmt.Sprintf("%s finished at %.1f", id, now))
+	d.mu.Unlock()
+
+	// The synthetic application's output file, stamped with the
+	// temporary userid the job ran under (§2.2).
+	d.mu.Lock()
+	tmpUser := d.tempUsers[id]
+	d.mu.Unlock()
+	_ = d.Stage.Append(id, "stdout.log", []byte(fmt.Sprintf("[%.1f] %s completed as %s: %.0f CPU-seconds\n", now, id, tmpUser, cpuUsed)))
+	_ = d.Stage.Put(id, "result.out", []byte(fmt.Sprintf("job=%s user=%s work=%.0f cpu=%.0f\n", id, tmpUser, j.Contract.Work, cpuUsed)))
+
+	d.emitTelemetry(sample)
+
+	if d.cfg.CentralAddr != "" {
+		conn, err := net.DialTimeout("tcp", d.cfg.CentralAddr, 5*time.Second)
+		if err == nil {
+			var ok protocol.SettleOK
+			// The Central Server resolves the user's home cluster from
+			// its own accounts; the FD holds no accounting information.
+			_ = protocol.Call(conn, protocol.TypeSettleReq, protocol.SettleReq{
+				JobID: id, User: owner, Server: d.Name(),
+				Price: price, CPUSeconds: cpuUsed,
+			}, protocol.TypeSettleOK, &ok)
+			conn.Close()
+		} else {
+			log.Printf("daemon %s: settle %s: %v", d.Name(), id, err)
+		}
+	}
+}
+
+// snapshotTelemetry reads a job's fields into a telemetry sample; the
+// caller must hold d.mu (or otherwise own the job).
+func snapshotTelemetry(now float64, j *job.Job, output string) protocol.Telemetry {
+	done := 0.0
+	if j.Contract.Work > 0 {
+		done = j.DoneWork() / j.Contract.Work
+	}
+	util := 0.0
+	if j.State() == job.Running {
+		util = j.Contract.Eff(j.PEs())
+	}
+	return protocol.Telemetry{
+		JobID: string(j.ID), Time: now, PEs: j.PEs(), Util: util,
+		Done: done, State: j.State().String(), Output: output,
+	}
+}
+
+// emitTelemetry sends one sample to AppSpector (best effort).
+func (d *Daemon) emitTelemetry(t protocol.Telemetry) {
+	if d.cfg.AppSpectorAddr == "" {
+		return
+	}
+	d.asMu.Lock()
+	defer d.asMu.Unlock()
+	if d.asConn == nil {
+		conn, err := net.DialTimeout("tcp", d.cfg.AppSpectorAddr, 5*time.Second)
+		if err != nil {
+			return
+		}
+		d.asConn = conn
+	}
+	if err := protocol.WriteFrame(d.asConn, protocol.TypeTelemetry, t); err != nil {
+		d.asConn.Close()
+		d.asConn = nil
+	}
+}
+
+// registerWithAppSpector announces a starting job to the monitor.
+func (d *Daemon) registerWithAppSpector(id, owner, app string) {
+	if d.cfg.AppSpectorAddr == "" {
+		return
+	}
+	conn, err := net.DialTimeout("tcp", d.cfg.AppSpectorAddr, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	var ok protocol.ASRegisterOK
+	_ = protocol.Call(conn, protocol.TypeASRegisterReq, protocol.ASRegisterReq{
+		JobID: id, Owner: owner, Server: d.Name(), App: app,
+	}, protocol.TypeASRegisterOK, &ok)
+}
+
+// serve accepts connections until Close.
+func (d *Daemon) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-d.closed:
+				return
+			default:
+			}
+			log.Printf("daemon %s: accept: %v", d.Name(), err)
+			return
+		}
+		d.track(conn, true)
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer d.track(conn, false)
+			defer conn.Close()
+			d.handle(conn)
+		}()
+	}
+}
+
+func (d *Daemon) handle(conn net.Conn) {
+	for {
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := d.dispatch(conn, f); err != nil {
+			_ = protocol.WriteError(conn, err.Error())
+		}
+	}
+}
+
+func (d *Daemon) dispatch(conn net.Conn, f protocol.Frame) error {
+	switch f.Type {
+	case protocol.TypePollReq:
+		d.mu.Lock()
+		reply := protocol.PollOK{
+			UsedPE:   d.cfg.Scheduler.UsedPEs(),
+			QueueLen: d.cfg.Scheduler.QueueLen(),
+			Running:  d.cfg.Scheduler.RunningCount(),
+		}
+		d.mu.Unlock()
+		return protocol.WriteFrame(conn, protocol.TypePollOK, reply)
+
+	case protocol.TypeBidReq:
+		var req protocol.BidReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := d.verify(req.User, req.Token); err != nil {
+			return err
+		}
+		if req.Contract == nil {
+			return errors.New("daemon: bid request without contract")
+		}
+		if err := req.Contract.Validate(); err != nil {
+			return err
+		}
+		b, ok := d.makeBid(req.Contract)
+		if !ok {
+			return fmt.Errorf("daemon: %s declines the job", d.Name())
+		}
+		return protocol.WriteFrame(conn, protocol.TypeBidOK, protocol.BidOK{Bid: b})
+
+	case protocol.TypeCommitReq:
+		var req protocol.CommitReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := d.verify(req.User, req.Token); err != nil {
+			return err
+		}
+		if err := d.commit(req); err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeCommitOK, protocol.CommitOK{JobID: req.JobID})
+
+	case protocol.TypeSubmitReq:
+		var req protocol.SubmitReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := d.verify(req.User, req.Token); err != nil {
+			return err
+		}
+		if err := d.submit(req); err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeSubmitOK, protocol.SubmitOK{JobID: req.JobID})
+
+	case protocol.TypeUploadReq:
+		var req protocol.UploadReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		n, err := d.Stage.PutChunk(req.JobID, req.Name, req.Offset, req.Data, req.Last, req.SHA256)
+		if err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeUploadOK, protocol.UploadOK{Received: n})
+
+	case protocol.TypeStatusReq:
+		var req protocol.StatusReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		j, ok := d.jobs[req.JobID]
+		var st protocol.StatusOK
+		if ok {
+			done := 0.0
+			if j.Contract.Work > 0 {
+				done = j.DoneWork() / j.Contract.Work
+			}
+			st = protocol.StatusOK{JobID: req.JobID, State: j.State().String(), PEs: j.PEs(), Progress: done}
+		}
+		d.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("daemon: unknown job %s", req.JobID)
+		}
+		return protocol.WriteFrame(conn, protocol.TypeStatusOK, st)
+
+	case protocol.TypeKillReq:
+		var req protocol.KillReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := d.verify(req.User, req.Token); err != nil {
+			return err
+		}
+		st, err := d.kill(req)
+		if err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeKillOK, protocol.KillOK{JobID: req.JobID, State: st})
+
+	case protocol.TypeOutputReq:
+		var req protocol.OutputReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		data, eof, err := d.Stage.ReadAt(req.JobID, req.Name, req.Offset, req.Limit)
+		if err != nil {
+			return err
+		}
+		sum := ""
+		if eof {
+			sum, _ = d.Stage.SHA256(req.JobID, req.Name)
+		}
+		return protocol.WriteFrame(conn, protocol.TypeOutputOK, protocol.OutputOK{Data: data, EOF: eof, SHA256: sum})
+
+	default:
+		return fmt.Errorf("daemon: unsupported frame %q", f.Type)
+	}
+}
+
+// exportsApp reports whether the contract's application is among this
+// Compute Server's exported Known Applications (§2.2). A daemon that
+// exports no list accepts anything (trusting the Central Server's
+// screening).
+func (d *Daemon) exportsApp(app string) bool {
+	if len(d.cfg.Info.Apps) == 0 {
+		return true
+	}
+	for _, a := range d.cfg.Info.Apps {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
+
+// makeBid consults the scheduler and the bid generator.
+func (d *Daemon) makeBid(c *qos.Contract) (bidding.Bid, bool) {
+	if !d.exportsApp(c.App) {
+		return bidding.Bid{}, false
+	}
+	now := d.Now()
+	d.mu.Lock()
+	est, canRun := d.cfg.Scheduler.EstimateCompletion(now, c)
+	st := bidding.ServerState{
+		NumPE:               d.cfg.Info.Spec.NumPE,
+		UsedPE:              d.cfg.Scheduler.UsedPEs(),
+		QueuedWork:          d.outstanding,
+		Speed:               d.cfg.Info.Spec.Speed,
+		CostRate:            d.cfg.Info.Spec.CostRate,
+		EstimatedCompletion: est,
+		CanRun:              canRun,
+	}
+	d.mu.Unlock()
+	return bidding.Make(d.cfg.Bidder, d.Name(), now, c, st, d.cfg.BidValidity)
+}
+
+// commit is phase two: hold capacity for a job whose files are still on
+// their way. The reservation is bounded by the bid's expiry.
+func (d *Daemon) commit(req protocol.CommitReq) error {
+	return d.commitContract(req.JobID, req.User, req.Bid)
+}
+
+func (d *Daemon) commitContract(jobID, user string, b bidding.Bid) error {
+	now := d.Now()
+	if b.ExpiresAt > 0 && now > b.ExpiresAt {
+		return fmt.Errorf("daemon: bid for %s expired", jobID)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.reserved[jobID]; dup {
+		return fmt.Errorf("daemon: job %s already committed", jobID)
+	}
+	if _, dup := d.jobs[jobID]; dup {
+		return fmt.Errorf("daemon: job %s already submitted", jobID)
+	}
+	d.reserved[jobID] = &reservation{user: user, bid: b}
+	d.Stage.CreateJob(jobID)
+	return nil
+}
+
+// submit starts a committed job on the scheduler. Jobs may also be
+// submitted without a prior commit (the client accepted the bid
+// implicitly); the admission check happens here either way.
+func (d *Daemon) submit(req protocol.SubmitReq) error {
+	if req.Contract == nil {
+		return errors.New("daemon: submit without contract")
+	}
+	if err := req.Contract.Validate(); err != nil {
+		return err
+	}
+	if !d.exportsApp(req.Contract.App) {
+		return fmt.Errorf("daemon: %s does not export application %q", d.Name(), req.Contract.App)
+	}
+	now := d.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.jobs[req.JobID]; dup {
+		return fmt.Errorf("daemon: job %s already submitted", req.JobID)
+	}
+	res := d.reserved[req.JobID]
+	delete(d.reserved, req.JobID)
+
+	j := job.New(job.ID(req.JobID), req.User, req.Contract, now)
+	if !d.cfg.Scheduler.Submit(now, j) {
+		return fmt.Errorf("daemon: %s refused job %s at submission", d.Name(), req.JobID)
+	}
+	d.jobs[req.JobID] = j
+	d.owners[req.JobID] = req.User
+	// The end user holds no account on this Compute Server: the job runs
+	// under a temporary userid (§2.2: "the Faucets system runs the job
+	// with a temporary userid").
+	d.tempSeq++
+	d.tempUsers[req.JobID] = fmt.Sprintf("fauc-tmp-%06d", d.tempSeq)
+	if res != nil {
+		d.prices[req.JobID] = res.bid.Price
+	}
+	d.outstanding += req.Contract.Work
+	d.Stage.CreateJob(req.JobID)
+
+	// Register with AppSpector outside the lock would be nicer, but the
+	// call is quick and only happens once per job.
+	go d.registerWithAppSpector(req.JobID, req.User, req.Contract.App)
+	return nil
+}
+
+// kill terminates a job on behalf of its owner (§2: users can interact
+// with their jobs).
+func (d *Daemon) kill(req protocol.KillReq) (state string, err error) {
+	now := d.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[req.JobID]
+	if !ok {
+		return "", fmt.Errorf("daemon: unknown job %s", req.JobID)
+	}
+	if d.owners[req.JobID] != req.User {
+		return "", fmt.Errorf("daemon: job %s is not owned by %s", req.JobID, req.User)
+	}
+	if j.State().Terminal() {
+		return j.State().String(), nil // idempotent: already done
+	}
+	if !d.cfg.Scheduler.Kill(now, j.ID) {
+		return "", fmt.Errorf("daemon: job %s could not be killed", req.JobID)
+	}
+	d.outstanding -= j.RemainingWork()
+	if d.outstanding < 0 {
+		d.outstanding = 0
+	}
+	sample := snapshotTelemetry(now, j, fmt.Sprintf("%s killed by %s", req.JobID, req.User))
+	go d.emitTelemetry(sample)
+	return j.State().String(), nil
+}
+
+// TempUser returns the temporary userid a job runs under (§2.2).
+func (d *Daemon) TempUser(id string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tempUsers[id]
+}
+
+// Job returns a submitted job by ID (diagnostics/tests).
+func (d *Daemon) Job(id string) (*job.Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	return j, ok
+}

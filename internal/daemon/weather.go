@@ -1,0 +1,99 @@
+package daemon
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"faucets/internal/bidding"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+	"faucets/internal/weather"
+)
+
+// CentralWeather implements bidding.WeatherSource over the wire: the
+// daemon's bid generator asks the Faucets Central Server for the §5.2.1
+// grid-weather report. Reports are cached briefly so a burst of bid
+// requests does not hammer the Central Server.
+type CentralWeather struct {
+	// Addr is the Central Server address.
+	Addr string
+	// TTL is the cache lifetime (default 2s wall time).
+	TTL time.Duration
+
+	mu      sync.Mutex
+	last    weather.Report
+	lastOK  bool
+	fetched time.Time
+}
+
+// GridWeather implements bidding.WeatherSource.
+func (c *CentralWeather) GridWeather(now float64) (weather.Report, bool) {
+	ttl := c.TTL
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	c.mu.Lock()
+	if time.Since(c.fetched) < ttl {
+		rep, ok := c.last, c.lastOK
+		c.mu.Unlock()
+		return rep, ok
+	}
+	c.mu.Unlock()
+
+	rep, ok := c.fetch()
+
+	c.mu.Lock()
+	c.last, c.lastOK, c.fetched = rep, ok, time.Now()
+	c.mu.Unlock()
+	return rep, ok
+}
+
+func (c *CentralWeather) fetch() (weather.Report, bool) {
+	conn, err := net.DialTimeout("tcp", c.Addr, 5*time.Second)
+	if err != nil {
+		return weather.Report{}, false
+	}
+	defer conn.Close()
+	var reply protocol.WeatherOK
+	if err := protocol.Call(conn, protocol.TypeWeatherReq, protocol.WeatherReq{}, protocol.TypeWeatherOK, &reply); err != nil {
+		return weather.Report{}, false
+	}
+	return weather.Report{
+		Time:              reply.Time,
+		GridUtilization:   reply.GridUtilization,
+		Servers:           reply.Servers,
+		TotalPE:           reply.TotalPE,
+		Contracts:         reply.Contracts,
+		MeanMultiplier:    reply.MeanMultiplier,
+		BucketMultipliers: reply.BucketMultipliers,
+	}, true
+}
+
+// CentralHistory implements bidding.HistoryView over the wire: the
+// daemon's history bidder asks the Central Server for recent settled
+// contracts similar to the proposed one (§5.2.1).
+type CentralHistory struct {
+	// Addr is the Central Server address.
+	Addr string
+}
+
+// SimilarContracts implements bidding.HistoryView.
+func (c *CentralHistory) SimilarContracts(now float64, ct *qos.Contract, limit int) []bidding.HistoryRecord {
+	conn, err := net.DialTimeout("tcp", c.Addr, 5*time.Second)
+	if err != nil {
+		return nil
+	}
+	defer conn.Close()
+	var reply protocol.HistoryOK
+	err = protocol.Call(conn, protocol.TypeHistoryReq,
+		protocol.HistoryReq{MaxPE: ct.MaxPE, Limit: limit}, protocol.TypeHistoryOK, &reply)
+	if err != nil {
+		return nil
+	}
+	out := make([]bidding.HistoryRecord, len(reply.Records))
+	for i, r := range reply.Records {
+		out[i] = bidding.HistoryRecord{Time: r.Time, App: r.App, MinPE: r.MinPE, MaxPE: r.MaxPE, Multiplier: r.Multiplier}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package daemon
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"faucets/internal/accounting"
+	"faucets/internal/central"
+	"faucets/internal/db"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+)
+
+func startCentralForWeather(t *testing.T) (*central.Server, string) {
+	t.Helper()
+	fs := central.New(accounting.Dollars)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fs.Serve(l)
+	t.Cleanup(fs.Close)
+	return fs, l.Addr().String()
+}
+
+func TestCentralWeatherFetchAndCache(t *testing.T) {
+	fs, addr := startCentralForWeather(t)
+	info := protocol.ServerInfo{Spec: spec("w", 100), Addr: "127.0.0.1:1"}
+	if err := fs.RegisterDaemon(info); err != nil {
+		t.Fatal(err)
+	}
+	fs.MarkSeen("w", protocol.PollOK{UsedPE: 25})
+
+	src := &CentralWeather{Addr: addr, TTL: time.Hour}
+	rep, ok := src.GridWeather(0)
+	if !ok {
+		t.Fatal("weather fetch failed")
+	}
+	if rep.GridUtilization != 0.25 || rep.TotalPE != 100 {
+		t.Fatalf("report=%+v", rep)
+	}
+	// The cached report survives a fleet change within the TTL.
+	fs.MarkSeen("w", protocol.PollOK{UsedPE: 100})
+	rep2, _ := src.GridWeather(1)
+	if rep2.GridUtilization != 0.25 {
+		t.Fatalf("cache miss: %v", rep2.GridUtilization)
+	}
+}
+
+func TestCentralWeatherUnreachable(t *testing.T) {
+	src := &CentralWeather{Addr: "127.0.0.1:1", TTL: time.Nanosecond}
+	if _, ok := src.GridWeather(0); ok {
+		t.Fatal("unreachable central produced a report")
+	}
+}
+
+func TestCentralHistoryFetch(t *testing.T) {
+	fs, addr := startCentralForWeather(t)
+	fs.DB.AppendContract(db.ContractRecord{MaxPE: 4, Multiplier: 1.5})
+	fs.DB.AppendContract(db.ContractRecord{MaxPE: 128, Multiplier: 9.0}) // other bucket
+
+	view := &CentralHistory{Addr: addr}
+	c := &qos.Contract{App: "x", MinPE: 1, MaxPE: 8, Work: 1}
+	recs := view.SimilarContracts(0, c, 10)
+	if len(recs) != 1 || recs[0].Multiplier != 1.5 {
+		t.Fatalf("recs=%v", recs)
+	}
+	// Unreachable central degrades to no history (bidder falls back).
+	dead := &CentralHistory{Addr: "127.0.0.1:1"}
+	if recs := dead.SimilarContracts(0, c, 10); recs != nil {
+		t.Fatalf("dead central returned records: %v", recs)
+	}
+}

@@ -1,0 +1,264 @@
+// Package db is the Database component of the Faucets architecture
+// (paper Fig 1): the Faucets Central Server stores user information and
+// the directory of Compute Servers; each Scheduler stores "the current
+// status of all the running and scheduled jobs on the Compute Server",
+// which it queries to decide whether to accept a new job; and the
+// contract history of §5.2.1 feeds the history-aware bid generators.
+//
+// The store is an in-memory, mutex-guarded set of tables with optional
+// JSON snapshot persistence — all the durability the 2004 prototype
+// needed, with none of the external dependencies this reproduction
+// forbids.
+package db
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// JobRecord is a job's persistent status row.
+type JobRecord struct {
+	ID          string  `json:"id"`
+	Owner       string  `json:"owner"`
+	Server      string  `json:"server"`
+	App         string  `json:"app"`
+	State       string  `json:"state"`
+	SubmitTime  float64 `json:"submit_time"`
+	StartTime   float64 `json:"start_time"`
+	FinishTime  float64 `json:"finish_time"`
+	Price       float64 `json:"price"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	HomeCluster string  `json:"home_cluster,omitempty"`
+}
+
+// ContractRecord is one settled contract in the market history (§5.2.1:
+// "maintaining a history of every individual contract over recent time
+// periods").
+type ContractRecord struct {
+	Time       float64 `json:"time"`
+	JobID      string  `json:"job_id"`
+	App        string  `json:"app"`
+	Server     string  `json:"server"`
+	MinPE      int     `json:"min_pe"`
+	MaxPE      int     `json:"max_pe"`
+	Price      float64 `json:"price"`
+	Multiplier float64 `json:"multiplier"`
+}
+
+// UserRecord is a user profile row (credentials live in package auth).
+type UserRecord struct {
+	Name        string `json:"name"`
+	HomeCluster string `json:"home_cluster,omitempty"`
+}
+
+// snapshot is the serialized form of the whole database.
+type snapshot struct {
+	Jobs    map[string]JobRecord  `json:"jobs"`
+	Users   map[string]UserRecord `json:"users"`
+	Credits map[string]float64    `json:"credits"`
+	History []ContractRecord      `json:"history"`
+}
+
+// DB is a concurrent in-memory database with optional file persistence.
+type DB struct {
+	mu   sync.RWMutex
+	data snapshot
+}
+
+// ErrNotFound is returned when a row does not exist.
+var ErrNotFound = errors.New("db: not found")
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{data: snapshot{
+		Jobs:    map[string]JobRecord{},
+		Users:   map[string]UserRecord{},
+		Credits: map[string]float64{},
+	}}
+}
+
+// PutJob inserts or replaces a job row.
+func (d *DB) PutJob(r JobRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data.Jobs[r.ID] = r
+}
+
+// GetJob fetches a job row.
+func (d *DB) GetJob(id string) (JobRecord, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.data.Jobs[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// UpdateJob applies fn to an existing row under the lock.
+func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.data.Jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	fn(&r)
+	d.data.Jobs[id] = r
+	return nil
+}
+
+// ListJobs returns rows matching the filter (nil matches all), sorted by
+// submit time then ID.
+func (d *DB) ListJobs(match func(JobRecord) bool) []JobRecord {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []JobRecord
+	for _, r := range d.data.Jobs {
+		if match == nil || match(r) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SubmitTime != out[j].SubmitTime {
+			return out[i].SubmitTime < out[j].SubmitTime
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// PutUser inserts or replaces a user profile.
+func (d *DB) PutUser(r UserRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data.Users[r.Name] = r
+}
+
+// GetUser fetches a user profile.
+func (d *DB) GetUser(name string) (UserRecord, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.data.Users[name]
+	if !ok {
+		return UserRecord{}, fmt.Errorf("%w: user %s", ErrNotFound, name)
+	}
+	return r, nil
+}
+
+// Credits returns a cluster's bartering balance (zero for unknown
+// clusters — every cluster starts at zero, §5.5.3).
+func (d *DB) Credits(cluster string) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.data.Credits[cluster]
+}
+
+// AddCredits adjusts a cluster's balance by delta and returns the new
+// balance.
+func (d *DB) AddCredits(cluster string, delta float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data.Credits[cluster] += delta
+	return d.data.Credits[cluster]
+}
+
+// TransferCredits moves amount from one cluster to another atomically —
+// the §5.5.3 settlement: "the appropriate number of credits are added to
+// the Compute Server that executed the job and [an] equal amount is
+// deducted from the Home Cluster's account."
+func (d *DB) TransferCredits(from, to string, amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("db: negative transfer %v", amount)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data.Credits[from] -= amount
+	d.data.Credits[to] += amount
+	return nil
+}
+
+// TotalCredits sums every balance — zero by construction under pure
+// transfers, the conservation invariant the bartering tests check.
+func (d *DB) TotalCredits() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var sum float64
+	for _, v := range d.data.Credits {
+		sum += v
+	}
+	return sum
+}
+
+// AppendContract records a settled contract in the market history.
+func (d *DB) AppendContract(r ContractRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data.History = append(d.data.History, r)
+}
+
+// RecentContracts returns up to limit settled contracts matching the
+// filter, newest first.
+func (d *DB) RecentContracts(match func(ContractRecord) bool, limit int) []ContractRecord {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []ContractRecord
+	for i := len(d.data.History) - 1; i >= 0 && len(out) < limit; i-- {
+		r := d.data.History[i]
+		if match == nil || match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HistoryLen returns the number of recorded contracts.
+func (d *DB) HistoryLen() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data.History)
+}
+
+// Save writes a JSON snapshot to path atomically (write temp + rename).
+func (d *DB) Save(path string) error {
+	d.mu.RLock()
+	blob, err := json.MarshalIndent(d.data, "", "  ")
+	d.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("db: marshal snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o600); err != nil {
+		return fmt.Errorf("db: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("db: rename snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents with a snapshot from path.
+func Load(path string) (*DB, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("db: read snapshot: %w", err)
+	}
+	var s snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("db: decode snapshot: %w", err)
+	}
+	if s.Jobs == nil {
+		s.Jobs = map[string]JobRecord{}
+	}
+	if s.Users == nil {
+		s.Users = map[string]UserRecord{}
+	}
+	if s.Credits == nil {
+		s.Credits = map[string]float64{}
+	}
+	return &DB{data: s}, nil
+}

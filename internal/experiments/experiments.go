@@ -1,0 +1,159 @@
+// Package experiments defines the reproducible experiment suite of this
+// Faucets reproduction. The ICPP 2004 paper publishes no quantitative
+// tables — its evaluation is the simulation framework of §5.4 — so each
+// concrete claim in the text becomes an experiment (E1–E8, catalogued in
+// DESIGN.md §4 and EXPERIMENTS.md) with a workload, a baseline, and a
+// measured series whose *shape* must match the paper's prediction.
+//
+// The same runners feed the cmd/faucets-sim binary and the bench
+// harness in bench_test.go at the repository root.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one line of an experiment table.
+type Row struct {
+	Label string
+	Cols  []Col
+}
+
+// Col is one named measurement.
+type Col struct {
+	Name  string
+	Value float64
+}
+
+// V is shorthand for constructing a column.
+func V(name string, value float64) Col { return Col{Name: name, Value: value} }
+
+// Table is an experiment's result.
+type Table struct {
+	ID    string // "E1" … "E8"
+	Title string
+	Claim string // the paper statement being checked
+	Rows  []Row
+}
+
+// String renders the table as aligned text, the format faucets-sim
+// prints and EXPERIMENTS.md embeds.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	if len(t.Rows) == 0 {
+		return b.String()
+	}
+	// Column layout: label + union of column names in first-seen order.
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		for _, c := range r.Cols {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				names = append(names, c.Name)
+			}
+		}
+	}
+	labelW := len("case")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(names))
+	for i, n := range names {
+		colW[i] = len(n) + 2
+		if colW[i] < 12 {
+			colW[i] = 12
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "case")
+	for i, n := range names {
+		fmt.Fprintf(&b, "%*s", colW[i], n)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.Label)
+		vals := map[string]float64{}
+		has := map[string]bool{}
+		for _, c := range r.Cols {
+			vals[c.Name] = c.Value
+			has[c.Name] = true
+		}
+		for i, n := range names {
+			if has[n] {
+				fmt.Fprintf(&b, "%*.3f", colW[i], vals[n])
+			} else {
+				fmt.Fprintf(&b, "%*s", colW[i], "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Get returns a named value from a labelled row (testing helper).
+func (t *Table) Get(label, col string) (float64, bool) {
+	for _, r := range t.Rows {
+		if r.Label != label {
+			continue
+		}
+		for _, c := range r.Cols {
+			if c.Name == col {
+				return c.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// All runs the full suite with a common seed: E1–E8 reproduce paper
+// claims; X1–X2 exercise the extensions the paper describes as ongoing
+// or future work.
+func All(seed uint64) []*Table {
+	return []*Table{
+		E1InternalFragmentation(seed),
+		E2ExternalFragmentation(seed),
+		E3AdaptiveVsRigid(seed),
+		E4BidStrategies(seed),
+		E5PayoffAdmission(seed),
+		E6Bartering(seed),
+		E7BidScalability(seed),
+		E8TwoPhaseCommit(seed),
+		X1Preemption(seed),
+		X2GridWeather(seed),
+	}
+}
+
+// ByID returns the runner for an experiment id, or nil.
+func ByID(id string) func(uint64) *Table {
+	switch strings.ToUpper(id) {
+	case "E1":
+		return E1InternalFragmentation
+	case "E2":
+		return E2ExternalFragmentation
+	case "E3":
+		return E3AdaptiveVsRigid
+	case "E4":
+		return E4BidStrategies
+	case "E5":
+		return E5PayoffAdmission
+	case "E6":
+		return E6Bartering
+	case "E7":
+		return E7BidScalability
+	case "E8":
+		return E8TwoPhaseCommit
+	case "X1":
+		return X1Preemption
+	case "X2":
+		return X2GridWeather
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,156 @@
+// Package grid boots a complete live Faucets system — Central Server,
+// AppSpector, and one Faucets Daemon per Compute Server — on loopback
+// listeners. It exists so integration tests and the quickstart example
+// can exercise the real wire protocol end to end (paper Fig 1) without
+// external processes.
+package grid
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"faucets/internal/accounting"
+	"faucets/internal/appspector"
+	"faucets/internal/bidding"
+	"faucets/internal/central"
+	"faucets/internal/client"
+	"faucets/internal/daemon"
+	"faucets/internal/machine"
+	"faucets/internal/protocol"
+	"faucets/internal/scheduler"
+)
+
+// ClusterSpec describes one Compute Server to boot.
+type ClusterSpec struct {
+	Spec machine.Spec
+	// Apps this cluster exports as Known Applications (§2.2).
+	Apps []string
+	// NewScheduler defaults to adaptive equipartition.
+	NewScheduler func(machine.Spec, scheduler.Config) scheduler.Scheduler
+	// Bidder defaults to the baseline strategy.
+	Bidder bidding.Generator
+	// Home is the bartering cluster; defaults to Spec.Name.
+	Home string
+}
+
+// Options configures the whole grid.
+type Options struct {
+	// Mode is the economic context; default Dollars.
+	Mode accounting.Mode
+	// TimeScale compresses virtual time (default 1000: one wall
+	// millisecond per virtual second) so tests finish quickly.
+	TimeScale float64
+	// Users maps userid → password accounts to create.
+	Users map[string]string
+	// Homes maps userid → home cluster for bartering.
+	Homes map[string]string
+	// SchedCfg is shared scheduler configuration.
+	SchedCfg scheduler.Config
+	// PollInterval enables the FS registry refresh loop when > 0.
+	PollInterval time.Duration
+}
+
+// Grid is a running loopback Faucets deployment.
+type Grid struct {
+	Central        *central.Server
+	CentralAddr    string
+	AppSpector     *appspector.Server
+	AppSpectorAddr string
+	Daemons        []*daemon.Daemon
+}
+
+// Start boots the system: FS first, then AS, then every FD (which
+// registers itself with the FS, as in the paper).
+func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("grid: no clusters")
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1000
+	}
+	g := &Grid{}
+
+	g.Central = central.New(opts.Mode)
+	for user, pw := range opts.Users {
+		if err := g.Central.Auth.AddUser(user, pw, opts.Homes[user]); err != nil {
+			return nil, err
+		}
+	}
+	fsl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	g.CentralAddr = fsl.Addr().String()
+	go g.Central.Serve(fsl)
+	if opts.PollInterval > 0 {
+		g.Central.StartPolling(opts.PollInterval)
+	}
+
+	g.AppSpector = appspector.NewServer(func(token string) (string, error) {
+		return g.Central.Auth.Verify(token)
+	})
+	asl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	g.AppSpectorAddr = asl.Addr().String()
+	go g.AppSpector.Serve(asl)
+
+	for _, cl := range clusters {
+		factory := cl.NewScheduler
+		if factory == nil {
+			factory = func(sp machine.Spec, c scheduler.Config) scheduler.Scheduler {
+				return scheduler.NewEquipartition(sp, c)
+			}
+		}
+		d, err := daemon.New(daemon.Config{
+			Info:           protocol.ServerInfo{Spec: cl.Spec, Apps: cl.Apps, Home: cl.Home},
+			Scheduler:      factory(cl.Spec, opts.SchedCfg),
+			Bidder:         cl.Bidder,
+			CentralAddr:    g.CentralAddr,
+			AppSpectorAddr: g.AppSpectorAddr,
+			TimeScale:      opts.TimeScale,
+		})
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		dl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		if err := d.Start(dl); err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.Daemons = append(g.Daemons, d)
+	}
+	return g, nil
+}
+
+// Login opens an authenticated client session against this grid.
+func (g *Grid) Login(user, password string) (*client.Client, error) {
+	c, err := client.Login(g.CentralAddr, user, password)
+	if err != nil {
+		return nil, err
+	}
+	c.AppSpectorAddr = g.AppSpectorAddr
+	return c, nil
+}
+
+// Close shuts every component down (daemons first so their settlement
+// calls still find the Central Server).
+func (g *Grid) Close() {
+	for _, d := range g.Daemons {
+		d.Close()
+	}
+	if g.AppSpector != nil {
+		g.AppSpector.Close()
+	}
+	if g.Central != nil {
+		g.Central.Close()
+	}
+}

@@ -1,0 +1,181 @@
+// Package market implements the market-efficient server-selection
+// machinery of paper §5: the request-for-bids broadcast, client-side bid
+// evaluation ("each client receives all the bids and selects one of the
+// Compute Servers for the job based on a simple criteria, such as least
+// cost, or earliest promised completion time", §5.3), and the two-phase
+// commit the paper identifies as necessary for larger grids ("a two
+// phase protocol will be needed to get a firm commitment from the
+// selected Compute Server, which may have received a more lucrative job
+// in between", §5.3).
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"faucets/internal/bidding"
+	"faucets/internal/qos"
+)
+
+// ServerPort is a Compute Server as seen by a bidding client: in live
+// mode this is a socket connection to a Faucets Daemon; in simulation it
+// is the server entity directly.
+type ServerPort interface {
+	// ServerName identifies the Compute Server.
+	ServerName() string
+	// RequestBid solicits a bid for the contract at time now. ok == false
+	// means the server declines.
+	RequestBid(now float64, c *qos.Contract) (bidding.Bid, bool)
+	// Commit asks the server to firmly commit to a previously returned
+	// bid (phase two). The server may refuse — the bid expired or the
+	// capacity was promised to someone else in between.
+	Commit(now float64, jobID string, b bidding.Bid) error
+}
+
+// Criterion orders bids; Less reports whether a is preferable to b.
+type Criterion interface {
+	Name() string
+	Less(a, b bidding.Bid) bool
+}
+
+// LeastCost prefers the cheapest bid, breaking ties by earlier promised
+// completion.
+type LeastCost struct{}
+
+// Name implements Criterion.
+func (LeastCost) Name() string { return "least-cost" }
+
+// Less implements Criterion.
+func (LeastCost) Less(a, b bidding.Bid) bool {
+	if a.Price != b.Price {
+		return a.Price < b.Price
+	}
+	return a.EstCompletion < b.EstCompletion
+}
+
+// EarliestCompletion prefers the soonest promised completion, breaking
+// ties by price.
+type EarliestCompletion struct{}
+
+// Name implements Criterion.
+func (EarliestCompletion) Name() string { return "earliest-completion" }
+
+// Less implements Criterion.
+func (EarliestCompletion) Less(a, b bidding.Bid) bool {
+	if a.EstCompletion != b.EstCompletion {
+		return a.EstCompletion < b.EstCompletion
+	}
+	return a.Price < b.Price
+}
+
+// Weighted scores bids as PriceWeight·price + TimeWeight·completion and
+// prefers the lower score — the "user-specific selection criteria" the
+// client agents of §5.3 carry.
+type Weighted struct {
+	PriceWeight float64
+	TimeWeight  float64
+}
+
+// Name implements Criterion.
+func (w Weighted) Name() string { return "weighted" }
+
+// Less implements Criterion.
+func (w Weighted) Less(a, b bidding.Bid) bool {
+	sa := w.PriceWeight*a.Price + w.TimeWeight*a.EstCompletion
+	sb := w.PriceWeight*b.Price + w.TimeWeight*b.EstCompletion
+	return sa < sb
+}
+
+// Errors from the award protocol.
+var (
+	ErrNoBids   = errors.New("market: no server bid for the job")
+	ErrConflict = errors.New("market: server refused to commit (bid superseded)")
+	ErrExpired  = errors.New("market: bid expired before commit")
+)
+
+// Solicit broadcasts a request-for-bids to the given servers and returns
+// all offers, stably sorted best-first under the criterion. The number of
+// servers contacted equals len(servers) — the caller (or the Faucets
+// Central Server's filters, §5.1) is responsible for pre-screening.
+func Solicit(now float64, servers []ServerPort, c *qos.Contract, crit Criterion) []bidding.Bid {
+	bids := make([]bidding.Bid, 0, len(servers))
+	for _, s := range servers {
+		if b, ok := s.RequestBid(now, c); ok {
+			bids = append(bids, b)
+		}
+	}
+	sort.SliceStable(bids, func(i, j int) bool { return crit.Less(bids[i], bids[j]) })
+	return bids
+}
+
+// AwardResult describes a completed auction.
+type AwardResult struct {
+	Bid bidding.Bid
+	// Attempts counts commit attempts, including the successful one —
+	// the contention statistic experiment E8 measures.
+	Attempts int
+	// Declined lists servers whose commit was refused.
+	Declined []string
+}
+
+// CommitRanked walks an already-ranked bid list asking each server in
+// turn for a firm commitment (phase two), skipping expired offers. With
+// singlePhase set, only the best bid is tried — the naive protocol
+// without fallback. The commit may happen later than the solicitation
+// (now reflects commit time), which is exactly when conflicts appear:
+// the chosen server "may have received a more lucrative job in between"
+// (§5.3).
+func CommitRanked(now float64, servers []ServerPort, bids []bidding.Bid, jobID string, singlePhase bool) (AwardResult, error) {
+	if len(bids) == 0 {
+		return AwardResult{}, ErrNoBids
+	}
+	byName := make(map[string]ServerPort, len(servers))
+	for _, s := range servers {
+		byName[s.ServerName()] = s
+	}
+	if singlePhase {
+		bids = bids[:1]
+	}
+	res := AwardResult{}
+	var lastErr error
+	for _, b := range bids {
+		if b.ExpiresAt > 0 && now > b.ExpiresAt {
+			lastErr = fmt.Errorf("%w: %s", ErrExpired, b.Server)
+			continue
+		}
+		s, ok := byName[b.Server]
+		if !ok {
+			continue
+		}
+		res.Attempts++
+		if err := s.Commit(now, jobID, b); err != nil {
+			res.Declined = append(res.Declined, b.Server)
+			lastErr = fmt.Errorf("%w: %s: %v", ErrConflict, b.Server, err)
+			continue
+		}
+		res.Bid = b
+		return res, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoBids
+	}
+	return res, lastErr
+}
+
+// Award runs the full two-phase selection: solicit bids from every
+// server, then walk the ranked list asking each server in turn for a
+// firm commitment, skipping offers that expired. It returns the first
+// server that commits.
+func Award(now float64, servers []ServerPort, c *qos.Contract, crit Criterion, jobID string) (AwardResult, error) {
+	return CommitRanked(now, servers, Solicit(now, servers, c, crit), jobID, false)
+}
+
+// SinglePhaseAward models the naive protocol without firm commitment:
+// the client picks the best bid and assumes it holds. The server is
+// still asked to commit (so capacity accounting stays consistent), but
+// no fallback occurs — a refusal is a failed job placement. Experiment
+// E8 contrasts this with Award under contention.
+func SinglePhaseAward(now float64, servers []ServerPort, c *qos.Contract, crit Criterion, jobID string) (AwardResult, error) {
+	return CommitRanked(now, servers, Solicit(now, servers, c, crit), jobID, true)
+}

@@ -1,0 +1,127 @@
+// Package protocol defines the wire protocol spoken between the Faucets
+// components (paper Fig 1): Faucets Client ↔ Faucets Central Server,
+// Client ↔ Faucets Daemon, Daemon ↔ Central Server, Daemon ↔ AppSpector,
+// and Client ↔ AppSpector.
+//
+// Frames are length-prefixed JSON: a 4-byte big-endian payload length
+// followed by a JSON object {"type": ..., "body": ...}. Length-prefixing
+// (rather than newline-delimiting) keeps file-staging payloads and
+// embedded output text unconstrained.
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single frame (16 MiB): large enough for a staging
+// chunk, small enough to stop a corrupt length prefix from allocating
+// the moon.
+const MaxFrame = 16 << 20
+
+// Frame is one protocol message.
+type Frame struct {
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Framing errors.
+var (
+	ErrFrameTooBig = errors.New("protocol: frame exceeds MaxFrame")
+	ErrBadType     = errors.New("protocol: unexpected frame type")
+)
+
+// WriteFrame encodes body as JSON and writes a framed message to w.
+func WriteFrame(w io.Writer, typ string, body any) error {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("protocol: marshal %s: %w", typ, err)
+		}
+		raw = b
+	}
+	payload, err := json.Marshal(Frame{Type: typ, Body: raw})
+	if err != nil {
+		return fmt.Errorf("protocol: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("protocol: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // preserve io.EOF for clean-shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("protocol: read payload: %w", err)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return Frame{}, fmt.Errorf("protocol: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// Decode unmarshals a frame body into v, checking the frame type first.
+func Decode(f Frame, wantType string, v any) error {
+	if f.Type != wantType {
+		return fmt.Errorf("%w: got %q, want %q", ErrBadType, f.Type, wantType)
+	}
+	if v == nil {
+		return nil
+	}
+	if len(f.Body) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(f.Body, v); err != nil {
+		return fmt.Errorf("protocol: decode %s body: %w", f.Type, err)
+	}
+	return nil
+}
+
+// Call writes a request frame and reads the reply, decoding it into
+// reply if the reply type matches wantReply. It is the client-side
+// helper for every simple request/response exchange in the system.
+func Call(rw io.ReadWriter, reqType string, req any, wantReply string, reply any) error {
+	if err := WriteFrame(rw, reqType, req); err != nil {
+		return err
+	}
+	f, err := ReadFrame(rw)
+	if err != nil {
+		return err
+	}
+	if f.Type == TypeError {
+		var e ErrorBody
+		if derr := Decode(f, TypeError, &e); derr == nil && e.Message != "" {
+			return fmt.Errorf("protocol: remote error: %s", e.Message)
+		}
+		return errors.New("protocol: unspecified remote error")
+	}
+	return Decode(f, wantReply, reply)
+}
+
+// WriteError sends a TypeError frame describing a failure.
+func WriteError(w io.Writer, msg string) error {
+	return WriteFrame(w, TypeError, ErrorBody{Message: msg})
+}

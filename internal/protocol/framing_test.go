@@ -1,0 +1,246 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"faucets/internal/qos"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := AuthReq{User: "alice", Password: "secret"}
+	if err := WriteFrame(&buf, TypeAuthReq, req); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got AuthReq
+	if err := Decode(f, TypeAuthReq, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip: %+v != %+v", got, req)
+	}
+}
+
+func TestFrameNilBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypePollReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypePollReq {
+		t.Fatalf("type=%q", f.Type)
+	}
+	if err := Decode(f, TypePollReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	var body PollReq
+	if err := Decode(f, TypePollReq, &body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	f := Frame{Type: TypeAuthOK}
+	var v AuthReq
+	if err := Decode(f, TypeAuthReq, &v); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty read err=%v, want io.EOF", err)
+	}
+	// Truncated header.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Truncated payload.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestReadFrameGarbage(t *testing.T) {
+	payload := []byte("{not json")
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, TypeTelemetry, Telemetry{JobID: "j", Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tm Telemetry
+		if err := Decode(f, TypeTelemetry, &tm); err != nil {
+			t.Fatal(err)
+		}
+		if tm.Time != float64(i) {
+			t.Fatalf("frame %d out of order: %v", i, tm.Time)
+		}
+	}
+}
+
+// rwBuf adapts two buffers into a ReadWriter (client writes to reqs,
+// reads from resps).
+type rwBuf struct {
+	r *bytes.Buffer
+	w *bytes.Buffer
+}
+
+func (b rwBuf) Read(p []byte) (int, error)  { return b.r.Read(p) }
+func (b rwBuf) Write(p []byte) (int, error) { return b.w.Write(p) }
+
+func TestCallRoundTrip(t *testing.T) {
+	reqs, resps := &bytes.Buffer{}, &bytes.Buffer{}
+	// Pre-load the "server" response.
+	if err := WriteFrame(resps, TypeAuthOK, AuthOK{Token: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	var reply AuthOK
+	err := Call(rwBuf{r: resps, w: reqs}, TypeAuthReq, AuthReq{User: "u"}, TypeAuthOK, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Token != "tok" {
+		t.Fatalf("reply=%+v", reply)
+	}
+	// The request must have been written.
+	f, err := ReadFrame(reqs)
+	if err != nil || f.Type != TypeAuthReq {
+		t.Fatalf("request frame: %+v err=%v", f, err)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	reqs, resps := &bytes.Buffer{}, &bytes.Buffer{}
+	if err := WriteError(resps, "bad credentials"); err != nil {
+		t.Fatal(err)
+	}
+	var reply AuthOK
+	err := Call(rwBuf{r: resps, w: reqs}, TypeAuthReq, AuthReq{}, TypeAuthOK, &reply)
+	if err == nil || !strings.Contains(err.Error(), "bad credentials") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestCallUnexpectedReplyType(t *testing.T) {
+	reqs, resps := &bytes.Buffer{}, &bytes.Buffer{}
+	if err := WriteFrame(resps, TypePollOK, PollOK{}); err != nil {
+		t.Fatal(err)
+	}
+	var reply AuthOK
+	err := Call(rwBuf{r: resps, w: reqs}, TypeAuthReq, AuthReq{}, TypeAuthOK, &reply)
+	if !errors.Is(err, ErrBadType) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// Property: any telemetry message survives a frame round trip intact.
+func TestTelemetryRoundTripProperty(t *testing.T) {
+	f := func(id string, tm float64, pes int, out string) bool {
+		in := Telemetry{JobID: id, Time: tm, PEs: pes, Output: out}
+		var buf bytes.Buffer
+		if WriteFrame(&buf, TypeTelemetry, in) != nil {
+			return false
+		}
+		fr, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		var got Telemetry
+		if Decode(fr, TypeTelemetry, &got) != nil {
+			return false
+		}
+		return got == in
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractInBidReqRoundTrip(t *testing.T) {
+	c := &qos.Contract{App: "namd", MinPE: 4, MaxPE: 64, Work: 3600,
+		EffMin: 0.9, EffMax: 0.7,
+		Payoff: qos.Payoff{Soft: 10, Hard: 20, AtSoft: 5, AtHard: 1, Penalty: 2}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeBidReq, BidReq{User: "u", Contract: c}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BidReq
+	if err := Decode(fr, TypeBidReq, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Contract.App != "namd" || got.Contract.Payoff != c.Payoff {
+		t.Fatalf("contract mangled: %+v", got.Contract)
+	}
+}
+
+func TestUploadBinaryData(t *testing.T) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeUploadReq, UploadReq{JobID: "j", Name: "in.dat", Data: data, Last: true}); err != nil {
+		t.Fatal(err)
+	}
+	fr, _ := ReadFrame(&buf)
+	var got UploadReq
+	if err := Decode(fr, TypeUploadReq, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("binary payload corrupted")
+	}
+}
+
+func TestWriteFrameTooBig(t *testing.T) {
+	big := UploadReq{Data: make([]byte, MaxFrame)}
+	err := WriteFrame(io.Discard, TypeUploadReq, big)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame decoder: it must
+// never panic or allocate unbounded memory, only return errors.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with a valid frame and a few corruptions.
+	var good bytes.Buffer
+	_ = WriteFrame(&good, TypeAuthReq, AuthReq{User: "u", Password: "p"})
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, '{'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'e', 'l', 'l', 'o'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded frames must round-trip through the writer.
+		var buf bytes.Buffer
+		if fr.Body != nil {
+			var v any
+			_ = Decode(fr, fr.Type, &v)
+		}
+		if err := WriteFrame(&buf, fr.Type, fr.Body); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+	})
+}
+
+// FuzzTelemetryRoundTrip checks write→read→decode over arbitrary field
+// contents.
+func FuzzTelemetryRoundTrip(f *testing.F) {
+	f.Add("job-1", 1.5, 8, "output line")
+	f.Add("", 0.0, 0, "")
+	f.Fuzz(func(t *testing.T, id string, tm float64, pes int, out string) {
+		in := Telemetry{JobID: id, Time: tm, PEs: pes, Output: out}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, TypeTelemetry, in); err != nil {
+			t.Skip() // e.g. NaN time: JSON cannot encode — fine
+		}
+		fr, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		var got Telemetry
+		if err := Decode(fr, TypeTelemetry, &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.JobID != in.JobID || got.PEs != in.PEs || got.Output != in.Output {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+		}
+	})
+}

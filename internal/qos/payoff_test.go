@@ -1,0 +1,131 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPayoffZero(t *testing.T) {
+	var p Payoff
+	if !p.Zero() {
+		t.Fatal("zero payoff not detected")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero payoff must validate: %v", err)
+	}
+	if p.Value(123) != 0 {
+		t.Fatal("zero payoff must be worth 0")
+	}
+}
+
+func TestPayoffValidate(t *testing.T) {
+	good := Payoff{Soft: 100, Hard: 200, AtSoft: 10, AtHard: 4, Penalty: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good payoff rejected: %v", err)
+	}
+	bad := []Payoff{
+		{Soft: 0, Hard: 200, AtSoft: 10},             // soft must be > 0
+		{Soft: 300, Hard: 200, AtSoft: 10},           // hard < soft
+		{Soft: 100, Hard: 200, AtSoft: 1, AtHard: 5}, // atSoft < atHard
+		{Soft: 100, Hard: 200, AtSoft: -1},           // negative value
+		{Soft: 100, Hard: 200, AtSoft: 5, Penalty: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad payoff %d accepted: %+v", i, p)
+		}
+	}
+	if err := bad[0].Validate(); !errors.Is(err, ErrPayoffDeadlines) {
+		t.Errorf("wrong error class: %v", err)
+	}
+	if err := bad[2].Validate(); !errors.Is(err, ErrPayoffValues) {
+		t.Errorf("wrong error class: %v", err)
+	}
+}
+
+func TestPayoffValueRegions(t *testing.T) {
+	p := Payoff{Soft: 100, Hard: 300, AtSoft: 80, AtHard: 20, Penalty: 50}
+	cases := []struct {
+		elapsed, want float64
+	}{
+		{0, 80},      // well before soft
+		{100, 80},    // exactly at soft
+		{200, 50},    // midpoint: linear interpolation
+		{300, 20},    // exactly at hard
+		{300.1, -50}, // past hard: penalty
+		{1e9, -50},
+	}
+	for _, c := range cases {
+		if got := p.Value(c.elapsed); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Value(%v) = %v, want %v", c.elapsed, got, c.want)
+		}
+	}
+}
+
+// Property: payoff is non-increasing in completion time — finishing later
+// never pays more. This is the economic soundness invariant the
+// profit-aware scheduler depends on.
+func TestPayoffMonotoneProperty(t *testing.T) {
+	f := func(soft, span, atSoft, drop, penalty float64) bool {
+		soft = 1 + math.Abs(soft)
+		span = math.Abs(span)
+		atSoft = math.Abs(atSoft)
+		drop = math.Min(math.Abs(drop), atSoft)
+		penalty = math.Abs(penalty)
+		if math.IsInf(soft, 0) || math.IsInf(span, 0) || math.IsInf(atSoft, 0) ||
+			math.IsNaN(soft) || math.IsNaN(span) || math.IsNaN(atSoft) ||
+			math.IsNaN(drop) || math.IsNaN(penalty) || math.IsInf(penalty, 0) {
+			return true
+		}
+		p := Payoff{Soft: soft, Hard: soft + span, AtSoft: atSoft, AtHard: atSoft - drop, Penalty: penalty}
+		if p.Validate() != nil {
+			return true
+		}
+		prev := math.Inf(1)
+		for i := 0; i <= 20; i++ {
+			elapsed := (soft + span + 10) * float64(i) / 20
+			v := p.Value(elapsed)
+			if v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Value is bounded by [-Penalty, AtSoft] for all times.
+func TestPayoffBoundedProperty(t *testing.T) {
+	p := Payoff{Soft: 50, Hard: 150, AtSoft: 200, AtHard: 10, Penalty: 75}
+	f := func(elapsed float64) bool {
+		if math.IsNaN(elapsed) || math.IsInf(elapsed, 0) {
+			return true
+		}
+		v := p.Value(math.Abs(elapsed))
+		return v <= p.AtSoft && v >= -p.Penalty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithDeadlineShape(t *testing.T) {
+	p := WithDeadline(100, 60, 120, 30)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("WithDeadline produced invalid payoff: %v", err)
+	}
+	if p.Value(0) != 100 {
+		t.Fatalf("full value before soft = %v", p.Value(0))
+	}
+	if p.Value(120) != 25 {
+		t.Fatalf("value at hard = %v, want 25", p.Value(120))
+	}
+	if p.Value(121) != -30 {
+		t.Fatalf("post-hard = %v, want -30", p.Value(121))
+	}
+}

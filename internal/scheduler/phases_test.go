@@ -1,0 +1,77 @@
+package scheduler
+
+import (
+	"testing"
+
+	"faucets/internal/job"
+	"faucets/internal/qos"
+)
+
+// phasedJob has a wide first phase and a narrow second phase (§2.1).
+func phasedJob(id string) *job.Job {
+	c := &qos.Contract{
+		App: "mp", MinPE: 1, MaxPE: 16, Work: 1000,
+		Phases: []qos.Phase{
+			{Name: "wide", Work: 800, MinPE: 4, MaxPE: 16},
+			{Name: "narrow", Work: 200, MinPE: 1, MaxPE: 2},
+		},
+	}
+	return job.New(job.ID(id), "u", c, 0)
+}
+
+// TestPhaseBoundaryTriggersReallocation reproduces §2.1's point: when a
+// job shifts into a phase that cannot use its processors, the scheduler
+// reallocates them to other jobs at the boundary.
+func TestPhaseBoundaryTriggersReallocation(t *testing.T) {
+	s := NewEquipartition(spec(16), Config{})
+	mp := phasedJob("mp")
+	greedy := mk("greedy", 1, 16, 1e6) // absorbs whatever frees up
+	s.Submit(0, mp)
+	s.Submit(0, greedy)
+	initial := mp.PEs()
+	if initial+greedy.PEs() != 16 || initial < 4 {
+		t.Fatalf("initial split mp=%d greedy=%d", initial, greedy.PEs())
+	}
+	// Run until the boundary (800 work at the initial share) passes.
+	boundary := 800.0 / float64(initial)
+	s.Advance(boundary - 1)
+	if mp.PEs() != initial {
+		t.Fatalf("pre-boundary mp=%d, want %d", mp.PEs(), initial)
+	}
+	s.Advance(boundary + 1)
+	if idx, name := mp.CurrentPhase(); idx != 1 || name != "narrow" {
+		t.Fatalf("phase=%d %s", idx, name)
+	}
+	// The narrow phase can use at most 2 PEs; the scheduler must have
+	// shrunk mp and expanded greedy at the boundary.
+	if mp.PEs() > 2 {
+		t.Fatalf("mp kept %d PEs in its narrow phase", mp.PEs())
+	}
+	if greedy.PEs() < 14 {
+		t.Fatalf("greedy did not absorb freed processors: %d", greedy.PEs())
+	}
+	if s.UsedPEs() != 16 {
+		t.Fatalf("machine not fully used after boundary: %d", s.UsedPEs())
+	}
+}
+
+func TestPhasedJobCompletesUnderScheduler(t *testing.T) {
+	s := NewEquipartition(spec(16), Config{})
+	mp := phasedJob("solo")
+	s.Submit(0, mp)
+	// Solo: phase 1 at 16 PEs (50s), then narrow phase at 2 PEs (100s).
+	fin := drain(s, 1e6)
+	if got := fin["solo"]; got < 149.9 || got > 150.1 {
+		t.Fatalf("finish=%v, want ≈150", got)
+	}
+}
+
+func TestPhaseBoundsRespectedAtSubmit(t *testing.T) {
+	// A job submitted while in its first phase gets that phase's bounds.
+	s := NewEquipartition(spec(16), Config{})
+	mp := phasedJob("mp")
+	s.Submit(0, mp)
+	if mp.PEs() != 16 { // wide phase allows the whole machine
+		t.Fatalf("wide-phase allocation=%d", mp.PEs())
+	}
+}

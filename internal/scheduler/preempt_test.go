@@ -1,0 +1,134 @@
+package scheduler
+
+import (
+	"testing"
+
+	"faucets/internal/job"
+	"faucets/internal/qos"
+)
+
+// lowValueLong is a rigid machine-filling job with negligible payoff.
+func lowValueLong(id string, pe int) *job.Job {
+	c := &qos.Contract{
+		App: "low", MinPE: pe, MaxPE: pe, Work: float64(pe) * 10000,
+		Payoff: qos.Payoff{Soft: 1e6, Hard: 2e6, AtSoft: 1, AtHard: 0.5, Penalty: 0},
+	}
+	return job.New(job.ID(id), "u", c, 0)
+}
+
+// urgentRich needs the whole machine and pays richly before a tight
+// deadline.
+func urgentRich(id string, pe int, submit float64) *job.Job {
+	c := &qos.Contract{
+		App: "rich", MinPE: pe, MaxPE: pe, Work: float64(pe) * 100,
+		Payoff: qos.Payoff{Soft: 200, Hard: 400, AtSoft: 100000, AtHard: 50000, Penalty: 0},
+	}
+	return job.New(job.ID(id), "u", c, submit)
+}
+
+func TestPreemptionCheckpointsVictim(t *testing.T) {
+	s := NewProfit(spec(100), Config{Preempt: true, Lookahead: 1e9})
+	victim := lowValueLong("victim", 100) // rigid: cannot shrink
+	if !s.Submit(0, victim) {
+		t.Fatal("victim rejected on idle machine")
+	}
+	s.Advance(50)
+	urgent := urgentRich("urgent", 100, 50)
+	if !s.Submit(50, urgent) {
+		t.Fatal("high-payoff job rejected although preemption is enabled")
+	}
+	if urgent.State() != job.Running {
+		t.Fatalf("urgent job not running: %v", urgent)
+	}
+	if victim.State() != job.Checkpointed {
+		t.Fatalf("victim not checkpointed: %v", victim)
+	}
+	if victim.Checkpoints() != 1 {
+		t.Fatalf("checkpoints=%d", victim.Checkpoints())
+	}
+	if s.Preemptions() != 1 {
+		t.Fatalf("preemptions=%d", s.Preemptions())
+	}
+	// The victim's progress survived the checkpoint.
+	if victim.DoneWork() <= 0 {
+		t.Fatal("checkpoint lost completed work")
+	}
+
+	// Drive to completion: urgent finishes (100s), then the victim
+	// restarts from its checkpoint and eventually finishes too.
+	fin := drain(s, 1e9)
+	if fin["urgent"] == 0 {
+		t.Fatal("urgent job never finished")
+	}
+	if fin["victim"] == 0 {
+		t.Fatal("preempted victim never restarted")
+	}
+	if fin["urgent"] >= fin["victim"] {
+		t.Fatalf("urgent (%v) must finish before the restarted victim (%v)", fin["urgent"], fin["victim"])
+	}
+	if !urgent.MetDeadline() {
+		t.Fatal("urgent job missed its deadline despite preemption")
+	}
+}
+
+func TestNoPreemptionWithoutFlag(t *testing.T) {
+	s := NewProfit(spec(100), Config{Preempt: false})
+	victim := lowValueLong("victim", 100)
+	if !s.Submit(0, victim) {
+		t.Fatal("victim rejected")
+	}
+	s.Advance(50)
+	urgent := urgentRich("urgent", 100, 50)
+	if s.Submit(50, urgent) {
+		t.Fatal("rigid full-machine job accepted without preemption or lookahead")
+	}
+	if victim.State() != job.Running {
+		t.Fatalf("victim disturbed: %v", victim)
+	}
+}
+
+func TestPreemptionDoesNotEvictForLowValueArrival(t *testing.T) {
+	s := NewProfit(spec(100), Config{Preempt: true})
+	incumbent := urgentRich("incumbent", 100, 0) // rich incumbent
+	if !s.Submit(0, incumbent) {
+		t.Fatal("incumbent rejected")
+	}
+	s.Advance(10)
+	cheap := lowValueLong("cheap", 100)
+	// The cheap arrival must not evict the rich incumbent: its payoff
+	// cannot compensate the loss.
+	s.Submit(10, cheap)
+	if incumbent.State() != job.Running {
+		t.Fatalf("rich incumbent evicted by a cheap job: %v", incumbent)
+	}
+	if s.Preemptions() != 0 {
+		t.Fatalf("preemptions=%d", s.Preemptions())
+	}
+}
+
+func TestPreemptionPrefersShrinkOverCheckpoint(t *testing.T) {
+	// A malleable incumbent should be shrunk, not checkpointed, when
+	// shrinking frees enough processors.
+	s := NewProfit(spec(100), Config{Preempt: true})
+	flexible := job.New("flex", "u", &qos.Contract{
+		App: "flex", MinPE: 20, MaxPE: 100, Work: 100 * 1000,
+		Payoff: qos.Payoff{Soft: 1e6, Hard: 2e6, AtSoft: 1, AtHard: 0.5},
+	}, 0)
+	if !s.Submit(0, flexible) {
+		t.Fatal("flexible incumbent rejected")
+	}
+	s.Advance(10)
+	urgent := urgentRich("urgent", 80, 10)
+	if !s.Submit(10, urgent) {
+		t.Fatal("urgent rejected")
+	}
+	if flexible.State() != job.Running || flexible.PEs() != 20 {
+		t.Fatalf("flexible should shrink to MinPE and keep running: %v", flexible)
+	}
+	if urgent.PEs() != 80 {
+		t.Fatalf("urgent PEs=%d", urgent.PEs())
+	}
+	if s.Preemptions() != 0 {
+		t.Fatal("checkpointed despite shrink sufficing")
+	}
+}

@@ -1,0 +1,59 @@
+// Package sim provides the discrete-event simulation engine underlying the
+// Faucets grid simulation framework (paper §5.4). Every entity in the
+// Faucets system — clients, Compute Servers, the Faucets Central Server,
+// job schedulers with their bid-generation algorithms, and application
+// programs — is represented by an object, and discrete-event simulation is
+// carried out over patterns of job submissions under study.
+//
+// The engine is deliberately single-threaded: event order is a total order
+// determined by (time, priority, sequence), which makes every simulation
+// run deterministic for a given seed and workload.
+package sim
+
+import "time"
+
+// Time is a point in virtual simulation time, measured in seconds from the
+// start of the simulation. Using float64 seconds (rather than
+// time.Duration) matches the granularity the schedulers and payoff
+// functions work at and avoids overflow for very long horizons.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// FromDuration converts a wall-clock duration to virtual seconds.
+func FromDuration(d time.Duration) Duration { return Duration(d.Seconds()) }
+
+// ToDuration converts virtual seconds into a wall-clock duration.
+// It saturates instead of overflowing for absurdly large spans.
+func ToDuration(d Duration) time.Duration {
+	const maxSec = float64(1<<62) / float64(time.Second)
+	if float64(d) > maxSec {
+		return 1 << 62
+	}
+	if float64(d) < -maxSec {
+		return -(1 << 62)
+	}
+	return time.Duration(float64(d) * float64(time.Second))
+}
+
+// Clock abstracts "what time is it" so that scheduler, bidding and market
+// logic can run identically inside the simulator (virtual clock) and
+// inside the live daemons (wall clock).
+type Clock interface {
+	// Now returns the current time in seconds. In live mode this is
+	// seconds since process start; in simulation it is virtual time.
+	Now() Time
+}
+
+// WallClock is a Clock backed by the real time.Now, reported as seconds
+// since the WallClock was created.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a Clock anchored at the current instant.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now reports seconds elapsed since the clock was created.
+func (w *WallClock) Now() Time { return Time(time.Since(w.epoch).Seconds()) }

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series accumulates scalar observations (response times, prices, …) and
+// reports summary statistics. The zero value is ready to use.
+type Series struct {
+	vals []float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+}
+
+// N returns the number of observations.
+func (s *Series) N() int { return len(s.vals) }
+
+// Sum returns the total of all observations.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Min returns the smallest observation, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// String summarizes the series for experiment reports.
+func (s *Series) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Max())
+}
+
+// Counter is a named monotonically increasing count (messages sent,
+// jobs rejected, conflicts detected, …).
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// TimeWeighted integrates a step function over virtual time — the right
+// statistic for "utilization" and "busy processors": each Set records the
+// new level; MeanOver reports the time-weighted average level.
+type TimeWeighted struct {
+	first    Time
+	last     Time
+	level    float64
+	area     float64
+	started  bool
+	maxLevel float64
+}
+
+// Set records that the level changed to v at time t.
+func (tw *TimeWeighted) Set(t Time, v float64) {
+	if !tw.started {
+		tw.first, tw.last, tw.level, tw.started = t, t, v, true
+		tw.maxLevel = v
+		return
+	}
+	if t < tw.last {
+		// Out-of-order sample; clamp rather than corrupt the integral.
+		t = tw.last
+	}
+	tw.area += tw.level * float64(t-tw.last)
+	tw.last = t
+	tw.level = v
+	if v > tw.maxLevel {
+		tw.maxLevel = v
+	}
+}
+
+// Add records a delta to the current level at time t.
+func (tw *TimeWeighted) Add(t Time, dv float64) { tw.Set(t, tw.level+dv) }
+
+// Level returns the current level.
+func (tw *TimeWeighted) Level() float64 { return tw.level }
+
+// Max returns the maximum level observed.
+func (tw *TimeWeighted) Max() float64 { return tw.maxLevel }
+
+// MeanOver returns the time-weighted mean level from the first sample up
+// to time end. If end precedes the last sample, the mean up to the last
+// sample is returned instead.
+func (tw *TimeWeighted) MeanOver(end Time) float64 {
+	if !tw.started {
+		return 0
+	}
+	area := tw.area
+	last := tw.last
+	if end > last {
+		area += tw.level * float64(end-last)
+		last = end
+	}
+	span := float64(last - tw.first)
+	if span <= 0 {
+		return tw.level
+	}
+	return area / span
+}
+
+// Metrics is a registry of named statistics for one simulation run.
+type Metrics struct {
+	Series   map[string]*Series
+	Counters map[string]*Counter
+	Levels   map[string]*TimeWeighted
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Series:   map[string]*Series{},
+		Counters: map[string]*Counter{},
+		Levels:   map[string]*TimeWeighted{},
+	}
+}
+
+// S returns (creating if needed) the named series.
+func (m *Metrics) S(name string) *Series {
+	s, ok := m.Series[name]
+	if !ok {
+		s = &Series{}
+		m.Series[name] = s
+	}
+	return s
+}
+
+// C returns (creating if needed) the named counter.
+func (m *Metrics) C(name string) *Counter {
+	c, ok := m.Counters[name]
+	if !ok {
+		c = &Counter{}
+		m.Counters[name] = c
+	}
+	return c
+}
+
+// L returns (creating if needed) the named time-weighted level.
+func (m *Metrics) L(name string) *TimeWeighted {
+	l, ok := m.Levels[name]
+	if !ok {
+		l = &TimeWeighted{}
+		m.Levels[name] = l
+	}
+	return l
+}
+
+// Report renders all statistics sorted by name, one per line.
+func (m *Metrics) Report(end Time) string {
+	var b strings.Builder
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %-28s %d\n", n, m.Counters[n].Value())
+	}
+	names = names[:0]
+	for n := range m.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "series  %-28s %s\n", n, m.Series[n])
+	}
+	names = names[:0]
+	for n := range m.Levels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "level   %-28s mean=%.3f max=%.1f\n", n, m.Levels[n].MeanOver(end), m.Levels[n].Max())
+	}
+	return b.String()
+}

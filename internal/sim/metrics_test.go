@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasicStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum=%v", s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean=%v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("Stddev=%v, want sqrt(2)", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series statistics should all be zero")
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 50}, {95, 95}, {100, 100}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestSeriesPercentileProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Inc()
+	c.Addn(3)
+	if c.Value() != 5 {
+		t.Fatalf("Value=%d, want 5", c.Value())
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 10) // level 10 over [0,4)
+	tw.Set(4, 0)  // level 0 over [4,10)
+	got := tw.MeanOver(10)
+	want := (10.0*4 + 0*6) / 10
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanOver(10)=%v, want %v", got, want)
+	}
+	if tw.Max() != 10 {
+		t.Fatalf("Max=%v", tw.Max())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Add(1, 5)  // 5 over [1,3)
+	tw.Add(3, -5) // 0 after
+	if tw.Level() != 0 {
+		t.Fatalf("Level=%v", tw.Level())
+	}
+	got := tw.MeanOver(10)
+	want := (5.0 * 2) / 10
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean=%v want %v", got, want)
+	}
+}
+
+func TestTimeWeightedEmptyAndDegenerate(t *testing.T) {
+	var tw TimeWeighted
+	if tw.MeanOver(100) != 0 {
+		t.Fatal("mean of empty level should be 0")
+	}
+	tw.Set(5, 7)
+	// Zero span: return the level itself.
+	if tw.MeanOver(5) != 7 {
+		t.Fatalf("zero-span mean = %v, want 7", tw.MeanOver(5))
+	}
+}
+
+func TestTimeWeightedOutOfOrderClamped(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 1)
+	tw.Set(10, 2)
+	tw.Set(5, 3) // out of order: treated as at t=10
+	got := tw.MeanOver(20)
+	want := (1.0*10 + 3.0*10) / 20
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean=%v want %v", got, want)
+	}
+}
+
+func TestMetricsRegistryAndReport(t *testing.T) {
+	m := NewMetrics()
+	m.C("jobs.done").Inc()
+	m.S("resp").Add(1.5)
+	m.L("util").Set(0, 0.5)
+	if m.C("jobs.done").Value() != 1 {
+		t.Fatal("counter not shared by name")
+	}
+	if m.S("resp") != m.S("resp") {
+		t.Fatal("series not shared by name")
+	}
+	rep := m.Report(10)
+	for _, want := range []string{"jobs.done", "resp", "util"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp(3.0)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("exponential mean = %v, want ~3.0", mean)
+	}
+}
+
+func TestRNGLogUniformBounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.LogUniform(10, 1000)
+		if v < 10 || v > 1000 {
+			t.Fatalf("LogUniform(10,1000) = %v", v)
+		}
+	}
+}
+
+func TestRNGLogUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogUniform(0, 1) did not panic")
+		}
+	}()
+	NewRNG(1).LogUniform(0, 1)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 20
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(100)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("child stream matches parent %d/100 draws", same)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(21)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", frac)
+	}
+}

@@ -1,0 +1,204 @@
+package stage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkedUploadWithChecksum(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j1")
+	full := []byte("hello faucets staging world")
+	digest := Digest(full)
+	n, err := s.PutChunk("j1", "in.dat", 0, full[:10], false, "")
+	if err != nil || n != 10 {
+		t.Fatalf("chunk1: n=%d err=%v", n, err)
+	}
+	n, err = s.PutChunk("j1", "in.dat", 10, full[10:], true, digest)
+	if err != nil || n != int64(len(full)) {
+		t.Fatalf("chunk2: n=%d err=%v", n, err)
+	}
+	got, err := s.Get("j1", "in.dat")
+	if err != nil || !bytes.Equal(got, full) {
+		t.Fatalf("get: %q err=%v", got, err)
+	}
+	sum, err := s.SHA256("j1", "in.dat")
+	if err != nil || sum != digest {
+		t.Fatalf("digest mismatch: %v %v", sum, err)
+	}
+}
+
+func TestChecksumMismatchDiscardsFile(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	_, err := s.PutChunk("j", "f", 0, []byte("data"), true, "00ff")
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err=%v", err)
+	}
+	// The corrupt upload must be gone so a retry starts clean.
+	if _, err := s.Get("j", "f"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("corrupt file retained: %v", err)
+	}
+	if n, err := s.PutChunk("j", "f", 0, []byte("data"), true, Digest([]byte("data"))); err != nil || n != 4 {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestNonContiguousOffsetRejected(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	_, _ = s.PutChunk("j", "f", 0, []byte("abc"), false, "")
+	if _, err := s.PutChunk("j", "f", 7, []byte("xyz"), false, ""); !errors.Is(err, ErrOffset) {
+		t.Fatalf("err=%v", err)
+	}
+	// Duplicate chunk (retransmission at old offset) also rejected with
+	// the current size reported so the client can resync.
+	n, err := s.PutChunk("j", "f", 0, []byte("abc"), false, "")
+	if !errors.Is(err, ErrOffset) || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestWriteAfterFinalizeRejected(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	_, _ = s.PutChunk("j", "f", 0, []byte("abc"), true, "")
+	if _, err := s.PutChunk("j", "f", 3, []byte("more"), false, ""); !errors.Is(err, ErrCompleted) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestUnknownJobAndFile(t *testing.T) {
+	s := NewStore()
+	if _, err := s.PutChunk("ghost", "f", 0, nil, false, ""); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := s.Put("ghost", "f", nil); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := s.Append("ghost", "f", nil); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("err=%v", err)
+	}
+	s.CreateJob("j")
+	if _, err := s.Get("j", "absent"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := s.List("ghost"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestAppendAndReadAt(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	for i := 0; i < 3; i++ {
+		if err := s.Append("j", "out.log", []byte("line\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, eof, err := s.ReadAt("j", "out.log", 0, 5)
+	if err != nil || eof || string(data) != "line\n" {
+		t.Fatalf("%q eof=%v err=%v", data, eof, err)
+	}
+	data, eof, err = s.ReadAt("j", "out.log", 10, 0)
+	if err != nil || !eof || string(data) != "line\n" {
+		t.Fatalf("tail read: %q eof=%v err=%v", data, eof, err)
+	}
+	data, eof, err = s.ReadAt("j", "out.log", 100, 10)
+	if err != nil || !eof || len(data) != 0 {
+		t.Fatalf("past-end read: %q eof=%v err=%v", data, eof, err)
+	}
+	if sz, _ := s.Size("j", "out.log"); sz != 15 {
+		t.Fatalf("size=%d", sz)
+	}
+}
+
+func TestListSortedAndDropJob(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	_ = s.Put("j", "b.txt", []byte("b"))
+	_ = s.Put("j", "a.txt", []byte("a"))
+	names, err := s.List("j")
+	if err != nil || len(names) != 2 || names[0] != "a.txt" {
+		t.Fatalf("names=%v err=%v", names, err)
+	}
+	s.DropJob("j")
+	if _, err := s.List("j"); !errors.Is(err, ErrNoJob) {
+		t.Fatal("dropped job still present")
+	}
+}
+
+func TestCreateJobIdempotent(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	_ = s.Put("j", "f", []byte("keep"))
+	s.CreateJob("j") // must not clear files
+	if got, err := s.Get("j", "f"); err != nil || string(got) != "keep" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.CreateJob("j")
+	_ = s.Put("j", "f", []byte("abc"))
+	got, _ := s.Get("j", "f")
+	got[0] = 'X'
+	again, _ := s.Get("j", "f")
+	if string(again) != "abc" {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+// Property: any split of a payload into contiguous chunks reassembles to
+// the original bytes with a matching digest.
+func TestChunkReassemblyProperty(t *testing.T) {
+	f := func(payload []byte, cuts []uint8) bool {
+		s := NewStore()
+		s.CreateJob("j")
+		digest := Digest(payload)
+		off := int64(0)
+		rest := payload
+		for _, c := range cuts {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(c)%len(rest) + 1
+			if _, err := s.PutChunk("j", "f", off, rest[:n], false, ""); err != nil {
+				return false
+			}
+			off += int64(n)
+			rest = rest[n:]
+		}
+		if _, err := s.PutChunk("j", "f", off, rest, true, digest); err != nil {
+			return false
+		}
+		got, err := s.Get("j", "f")
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentJobsIsolated(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			id := string(rune('a' + n))
+			s.CreateJob(id)
+			_ = s.Put(id, "f", []byte(id))
+			got, err := s.Get(id, "f")
+			if err != nil || string(got) != id {
+				t.Errorf("job %s corrupted: %q %v", id, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+// Package weather implements the §5.2.1 "Faucets Support for bidding":
+// "The Faucets system will provide such global information to Compute
+// Servers and/or their agents … maintaining a history of every
+// individual contract over recent time periods, summaries based on
+// various histogram metrics (e.g., grouping jobs based on the minimum or
+// maximum number of processors they need), trends for future usage…"
+//
+// The name follows the paper's own analogy to the Network Weather
+// Service: bid generators ask "how busy is the entire computational grid
+// likely to be during the period covered by the deadline?" and "what is
+// the average price of similar contracts in the recent past, in the
+// whole system?"
+package weather
+
+import (
+	"fmt"
+
+	"faucets/internal/db"
+)
+
+// Report is one grid-weather snapshot.
+type Report struct {
+	// Time is when the report was computed (virtual seconds).
+	Time float64 `json:"time"`
+	// GridUtilization is busy processors across all live Compute
+	// Servers divided by total processors, in [0,1].
+	GridUtilization float64 `json:"grid_utilization"`
+	// Servers and TotalPE describe the live fleet.
+	Servers int `json:"servers"`
+	TotalPE int `json:"total_pe"`
+	// Contracts is how many settled contracts inform the price stats.
+	Contracts int `json:"contracts"`
+	// MeanMultiplier is the average settled price multiplier over the
+	// recent window.
+	MeanMultiplier float64 `json:"mean_multiplier"`
+	// BucketMultipliers groups recent contracts by processor demand —
+	// the paper's histogram metrics. Keys: "small" (≤8 PEs), "medium"
+	// (≤64), "large" (>64), bucketed by the contract's MaxPE.
+	BucketMultipliers map[string]float64 `json:"bucket_multipliers,omitempty"`
+}
+
+// Bucket names a processor-demand class for histogram summaries.
+func Bucket(maxPE int) string {
+	switch {
+	case maxPE <= 8:
+		return "small"
+	case maxPE <= 64:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// Window is how many recent contracts feed the price statistics.
+const Window = 100
+
+// Compute builds a report from the fleet's dynamic state and the
+// contract history.
+func Compute(now float64, usedPE, totalPE, servers int, store *db.DB) Report {
+	r := Report{Time: now, Servers: servers, TotalPE: totalPE}
+	if totalPE > 0 {
+		r.GridUtilization = float64(usedPE) / float64(totalPE)
+		if r.GridUtilization > 1 {
+			r.GridUtilization = 1
+		}
+	}
+	if store == nil {
+		return r
+	}
+	recs := store.RecentContracts(nil, Window)
+	if len(recs) == 0 {
+		return r
+	}
+	var sum float64
+	bucketSum := map[string]float64{}
+	bucketN := map[string]int{}
+	for _, c := range recs {
+		sum += c.Multiplier
+		b := Bucket(c.MaxPE)
+		bucketSum[b] += c.Multiplier
+		bucketN[b]++
+	}
+	r.Contracts = len(recs)
+	r.MeanMultiplier = sum / float64(len(recs))
+	r.BucketMultipliers = map[string]float64{}
+	for b, s := range bucketSum {
+		r.BucketMultipliers[b] = s / float64(bucketN[b])
+	}
+	return r
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("weather{t=%.0f grid=%.0f%% servers=%d contracts=%d mult=%.2f}",
+		r.Time, r.GridUtilization*100, r.Servers, r.Contracts, r.MeanMultiplier)
+}

@@ -1,0 +1,74 @@
+package weather
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"faucets/internal/db"
+)
+
+func TestBucketing(t *testing.T) {
+	cases := map[int]string{1: "small", 8: "small", 9: "medium", 64: "medium", 65: "large", 4096: "large"}
+	for pe, want := range cases {
+		if got := Bucket(pe); got != want {
+			t.Errorf("Bucket(%d)=%q want %q", pe, got, want)
+		}
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	r := Compute(10, 0, 0, 0, nil)
+	if r.GridUtilization != 0 || r.Contracts != 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	r = Compute(10, 50, 100, 2, db.New())
+	if r.GridUtilization != 0.5 || r.Servers != 2 || r.Contracts != 0 {
+		t.Fatalf("report: %+v", r)
+	}
+}
+
+func TestComputeUtilizationClamped(t *testing.T) {
+	r := Compute(0, 200, 100, 1, nil)
+	if r.GridUtilization != 1 {
+		t.Fatalf("util=%v, want clamped 1", r.GridUtilization)
+	}
+}
+
+func TestComputePriceStats(t *testing.T) {
+	store := db.New()
+	store.AppendContract(db.ContractRecord{MaxPE: 4, Multiplier: 1.0})
+	store.AppendContract(db.ContractRecord{MaxPE: 32, Multiplier: 2.0})
+	store.AppendContract(db.ContractRecord{MaxPE: 128, Multiplier: 3.0})
+	r := Compute(5, 10, 100, 3, store)
+	if r.Contracts != 3 {
+		t.Fatalf("contracts=%d", r.Contracts)
+	}
+	if math.Abs(r.MeanMultiplier-2.0) > 1e-12 {
+		t.Fatalf("mean=%v", r.MeanMultiplier)
+	}
+	if r.BucketMultipliers["small"] != 1.0 || r.BucketMultipliers["medium"] != 2.0 || r.BucketMultipliers["large"] != 3.0 {
+		t.Fatalf("buckets=%v", r.BucketMultipliers)
+	}
+	if !strings.Contains(r.String(), "weather{") {
+		t.Fatalf("String=%q", r.String())
+	}
+}
+
+func TestComputeWindowLimit(t *testing.T) {
+	store := db.New()
+	for i := 0; i < Window+50; i++ {
+		m := 1.0
+		if i < 50 {
+			m = 100.0 // old outliers that must age out of the window
+		}
+		store.AppendContract(db.ContractRecord{MaxPE: 4, Multiplier: m})
+	}
+	r := Compute(0, 0, 100, 1, store)
+	if r.Contracts != Window {
+		t.Fatalf("contracts=%d, want %d", r.Contracts, Window)
+	}
+	if r.MeanMultiplier != 1.0 {
+		t.Fatalf("old contracts leaked into the window: mean=%v", r.MeanMultiplier)
+	}
+}

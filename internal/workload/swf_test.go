@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; SWF header comment
+; MaxJobs: 5
+# alternative comment style
+
+1  0    10 3600  64 -1 -1  64 3600 -1 1 7  1 1 -1 -1 -1 -1
+2  30   5  1800  16 -1 -1  16 1800 -1 1 3  1 1 -1 -1 -1 -1
+3  60   0  -1    32 -1 -1  32 -1   -1 0 7  1 1 -1 -1 -1 -1
+4  90   2  600   -1 -1 -1   8 600  -1 1 2  1 1 -1 -1 -1 -1
+5  120  1  60     8 -1 -1   8 60   -1 1 9  1 1 -1 -1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 3 (runtime -1) and 4 (procs -1) are skipped.
+	if len(tr.Items) != 3 {
+		t.Fatalf("items=%d, want 3", len(tr.Items))
+	}
+	j := tr.Items[0]
+	if j.ID != "swf-1" || j.SubmitAt != 0 || j.User != "user-7" {
+		t.Fatalf("item0=%+v", j)
+	}
+	if j.Contract.MinPE != 64 || j.Contract.MaxPE != 64 {
+		t.Fatalf("procs: %+v", j.Contract)
+	}
+	if j.Contract.Work != 3600*64 {
+		t.Fatalf("work=%v", j.Contract.Work)
+	}
+	if j.Contract.App != "swf" {
+		t.Fatalf("app=%q", j.Contract.App)
+	}
+	if tr.Items[2].SubmitAt != 120 || tr.Items[2].User != "user-9" {
+		t.Fatalf("item2=%+v", tr.Items[2])
+	}
+	// Every imported contract validates.
+	for i, it := range tr.Items {
+		if err := it.Contract.Validate(); err != nil {
+			t.Fatalf("item %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestParseSWFMalleable(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{Malleable: true, App: "namd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Items[0].Contract
+	if c.App != "namd" {
+		t.Fatalf("app=%q", c.App)
+	}
+	if c.MinPE != 32 || c.MaxPE != 128 {
+		t.Fatalf("malleable bounds [%d,%d], want [32,128]", c.MinPE, c.MaxPE)
+	}
+	if !c.Adaptive() {
+		t.Fatal("malleable import produced rigid contract")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSWFMaxJobs(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Items) != 2 {
+		t.Fatalf("items=%d", len(tr.Items))
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n"), SWFOptions{}); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ParseSWF(strings.NewReader("a b c d e\n"), SWFOptions{}); err == nil {
+		t.Fatal("non-numeric fields accepted")
+	}
+}
+
+func TestLoadSWF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.swf")
+	if err := os.WriteFile(path, []byte(sampleSWF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadSWF(path, SWFOptions{})
+	if err != nil || len(tr.Items) != 3 {
+		t.Fatalf("tr=%v err=%v", tr, err)
+	}
+	if _, err := LoadSWF(filepath.Join(t.TempDir(), "nope"), SWFOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

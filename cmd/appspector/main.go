@@ -27,16 +27,12 @@ func main() {
 	listen := flag.String("listen", ":9300", "address to listen on")
 	httpListen := flag.String("http", "", "optional HTTP gateway address (e.g. :9301)")
 	centralAddr := flag.String("central", "", "Central Server for watch-token verification (empty = open access)")
+	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each token-verification round trip")
 	flag.Parse()
 
 	var verify appspector.VerifyFunc
 	if *centralAddr != "" {
 		verify = func(token string) (string, error) {
-			conn, err := net.DialTimeout("tcp", *centralAddr, 5*time.Second)
-			if err != nil {
-				return "", fmt.Errorf("appspector: central unreachable: %w", err)
-			}
-			defer conn.Close()
 			// The Central Server's verify endpoint wants a user+token
 			// pair; AppSpector only holds the token, so it relies on the
 			// token→user resolution side of Verify via an empty user
@@ -44,9 +40,9 @@ func main() {
 			// the token by asking for any server list, which requires a
 			// valid token.
 			var reply protocol.ListServersOK
-			if err := protocol.Call(conn, protocol.TypeListServersReq,
+			if err := protocol.DialCall(*centralAddr, *rpcTimeout, protocol.TypeListServersReq,
 				protocol.ListServersReq{Token: token}, protocol.TypeListServersOK, &reply); err != nil {
-				return "", err
+				return "", fmt.Errorf("appspector: verify: %w", err)
 			}
 			return "", nil
 		}

@@ -34,6 +34,9 @@ func main() {
 	dbPath := flag.String("db", "", "JSON snapshot file: loaded at startup if present, saved periodically and on shutdown")
 	dbEvery := flag.Duration("db-interval", time.Minute, "snapshot save interval (with -db)")
 	peers := flag.String("peers", "", "comma-separated peer Central Server addresses (distributed directory, §5.1)")
+	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each federation RPC round trip")
+	pollTimeout := flag.Duration("poll-timeout", 3*time.Second, "deadline for each daemon liveness probe")
+	pollWidth := flag.Int("poll-concurrency", 32, "how many daemons are probed in parallel")
 	flag.Parse()
 
 	var m accounting.Mode
@@ -62,6 +65,9 @@ func main() {
 		srv = central.New(m)
 	}
 	srv.DeadAfter = *deadAfter
+	srv.RPCTimeout = *rpcTimeout
+	srv.PollTimeout = *pollTimeout
+	srv.PollConcurrency = *pollWidth
 	if *peers != "" {
 		var list []string
 		for _, p := range strings.Split(*peers, ",") {

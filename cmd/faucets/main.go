@@ -32,11 +32,12 @@ func main() {
 	asAddr := flag.String("appspector", "", "AppSpector address (for watch)")
 	user := flag.String("user", "", "userid")
 	pass := flag.String("pass", "", "password")
+	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each RPC round trip")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: faucets [flags] list|apps|credits|submit|status|watch")
 	}
-	cl, err := client.Login(*centralAddr, *user, *pass)
+	cl, err := client.LoginTimeout(*centralAddr, *user, *pass, *rpcTimeout)
 	if err != nil {
 		log.Fatalf("login: %v", err)
 	}

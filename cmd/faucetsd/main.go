@@ -15,6 +15,7 @@ import (
 	"log"
 	"net"
 	"strings"
+	"time"
 
 	"faucets/internal/bidding"
 	"faucets/internal/daemon"
@@ -38,6 +39,8 @@ func main() {
 	bidder := flag.String("bidder", "baseline", "baseline, utilization, weather, or history")
 	home := flag.String("home", "", "bartering home cluster (defaults to -name)")
 	timeScale := flag.Float64("timescale", 1.0, "virtual seconds per wall second")
+	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each outbound RPC round trip")
+	settleRetry := flag.Duration("settle-retry", time.Second, "redelivery cadence for unacknowledged settlements")
 	reconfig := flag.Float64("reconfig-latency", 5.0, "adaptive-job reconfiguration stall, seconds")
 	lookahead := flag.Float64("lookahead", 3600, "profit scheduler admission lookahead, seconds")
 	preempt := flag.Bool("preempt", false, "profit scheduler: checkpoint low-payoff jobs for high-payoff arrivals (§4.1/§5.5.4)")
@@ -71,12 +74,12 @@ func main() {
 		if *centralAddr == "" {
 			log.Fatal("the weather bidder needs -central for §5.2.1 grid reports")
 		}
-		gen = bidding.NewWeather(&daemon.CentralWeather{Addr: *centralAddr})
+		gen = bidding.NewWeather(&daemon.CentralWeather{Addr: *centralAddr, Timeout: *rpcTimeout})
 	case "history":
 		if *centralAddr == "" {
 			log.Fatal("the history bidder needs -central for §5.2.1 contract history")
 		}
-		gen = bidding.NewHistory(&daemon.CentralHistory{Addr: *centralAddr})
+		gen = bidding.NewHistory(&daemon.CentralHistory{Addr: *centralAddr, Timeout: *rpcTimeout})
 	default:
 		log.Fatalf("unknown bidder %q", *bidder)
 	}
@@ -94,6 +97,8 @@ func main() {
 		CentralAddr:    *centralAddr,
 		AppSpectorAddr: *asAddr,
 		TimeScale:      *timeScale,
+		RPCTimeout:     *rpcTimeout,
+		SettleRetry:    *settleRetry,
 	})
 	if err != nil {
 		log.Fatalf("daemon: %v", err)

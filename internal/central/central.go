@@ -17,6 +17,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"faucets/internal/accounting"
@@ -55,6 +56,16 @@ type Server struct {
 	DeadAfter time.Duration
 	// Dial is the poller's connection factory (overridable in tests).
 	Dial func(addr string) (net.Conn, error)
+	// PollTimeout bounds each liveness probe's round trip, so a daemon
+	// that accepts connections but never answers costs the poller at
+	// most this long instead of hanging the refresh forever.
+	PollTimeout time.Duration
+	// PollConcurrency bounds how many daemons are probed at once; the
+	// fan-out keeps one dead host from delaying everyone else's
+	// liveness refresh.
+	PollConcurrency int
+	// RPCTimeout bounds federation calls to peer Central Servers.
+	RPCTimeout time.Duration
 }
 
 // New returns a Central Server in the given economic mode.
@@ -74,8 +85,11 @@ func NewWithDB(mode accounting.Mode, store *db.DB) *Server {
 		closed:    make(chan struct{}),
 		DeadAfter: 30 * time.Second,
 		Dial: func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 5*time.Second)
+			return protocol.Dial(addr, 5*time.Second)
 		},
+		PollTimeout:     3 * time.Second,
+		PollConcurrency: 32,
+		RPCTimeout:      protocol.DefaultCallTimeout,
 	}
 }
 
@@ -166,13 +180,16 @@ func matches(info protocol.ServerInfo, c *qos.Contract) bool {
 }
 
 // Apps returns the union of applications exported by live servers — the
-// "Known Applications" catalogue of §2.2.
+// "Known Applications" catalogue of §2.2. The same liveness predicate
+// as Servers applies: a daemon that stopped answering polls must not
+// keep exporting applications indefinitely.
 func (s *Server) Apps() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := time.Now()
 	set := map[string]struct{}{}
 	for _, e := range s.registry {
-		if !e.alive {
+		if !e.alive || now.Sub(e.lastSeen) > s.DeadAfter {
 			continue
 		}
 		for _, a := range e.info.Apps {
@@ -204,7 +221,8 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 	}
 	s.DB.AppendContract(db.ContractRecord{
 		Time: float64(time.Now().UnixNano()) / 1e9, JobID: req.JobID,
-		Server: req.Server, Price: req.Price, Multiplier: mult,
+		App: req.App, Server: req.Server, MinPE: req.MinPE, MaxPE: req.MaxPE,
+		Price: req.Price, Multiplier: mult,
 	})
 	return nil
 }
@@ -228,32 +246,48 @@ func (s *Server) Weather() weather.Report {
 }
 
 // PollOnce probes every registered daemon and updates liveness; it
-// returns how many daemons answered.
+// returns how many daemons answered. Probes fan out with bounded
+// concurrency and a per-call deadline, so one dead or hung host delays
+// the whole refresh by at most one timeout instead of stalling the
+// sequential walk for everyone behind it.
 func (s *Server) PollOnce() int {
 	s.mu.Lock()
 	targets := make(map[string]string, len(s.registry))
 	for name, e := range s.registry {
 		targets[name] = e.info.Addr
 	}
+	width := s.PollConcurrency
+	timeout := s.PollTimeout
 	s.mu.Unlock()
-	alive := 0
-	for name, addr := range targets {
-		conn, err := s.Dial(addr)
-		if err != nil {
-			s.MarkDead(name)
-			continue
-		}
-		var dyn protocol.PollOK
-		err = protocol.Call(conn, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn)
-		conn.Close()
-		if err != nil {
-			s.MarkDead(name)
-			continue
-		}
-		s.MarkSeen(name, dyn)
-		alive++
+	if width <= 0 {
+		width = 32
 	}
-	return alive
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	var alive atomic.Int64
+	for name, addr := range targets {
+		wg.Add(1)
+		go func(name, addr string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			conn, err := s.Dial(addr)
+			if err != nil {
+				s.MarkDead(name)
+				return
+			}
+			defer conn.Close()
+			var dyn protocol.PollOK
+			if err := protocol.CallTimeout(conn, timeout, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn); err != nil {
+				s.MarkDead(name)
+				return
+			}
+			s.MarkSeen(name, dyn)
+			alive.Add(1)
+		}(name, addr)
+	}
+	wg.Wait()
+	return int(alive.Load())
 }
 
 // StartPolling launches the background refresh loop (paper §2: the FS
@@ -275,11 +309,15 @@ func (s *Server) StartPolling(interval time.Duration) {
 	}()
 }
 
-// Serve accepts client and daemon connections until Close.
+// Serve accepts client and daemon connections until Close. Transient
+// accept failures (e.g. EMFILE under descriptor pressure) are retried
+// with a capped backoff instead of silently killing the accept loop
+// while the process lives on; only closing the server ends it.
 func (s *Server) Serve(l net.Listener) {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
+	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -288,9 +326,23 @@ func (s *Server) Serve(l net.Listener) {
 				return
 			default:
 			}
-			log.Printf("central: accept: %v", err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			log.Printf("central: accept: %v (retrying in %v)", err, backoff)
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		s.track(conn, true)
 		s.wg.Add(1)
 		go func() {

@@ -4,7 +4,6 @@ import (
 	"net"
 	"sort"
 	"sync"
-	"time"
 
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
@@ -85,9 +84,8 @@ func (s *Server) verifyViaPeers(user, token string) bool {
 		if err != nil {
 			continue
 		}
-		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 		var ok protocol.VerifyOK
-		err = protocol.Call(conn, protocol.TypePeerVerifyReq,
+		err = protocol.CallTimeout(conn, s.RPCTimeout, protocol.TypePeerVerifyReq,
 			protocol.PeerVerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
 		conn.Close()
 		if err == nil {
@@ -108,9 +106,8 @@ func (s *Server) queryPeer(addr string, c *qos.Contract) ([]protocol.ServerInfo,
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetReadBuffer(1 << 16)
 	}
-	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	var reply protocol.ListServersOK
-	err = protocol.Call(conn, protocol.TypePeerListReq,
+	err = protocol.CallTimeout(conn, s.RPCTimeout, protocol.TypePeerListReq,
 		protocol.PeerListReq{Contract: c}, protocol.TypeListServersOK, &reply)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,193 @@
+package central
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faucets/internal/accounting"
+	"faucets/internal/protocol"
+)
+
+// TestAppsStaleness: the Known Applications list must apply the same
+// liveness rules as the server directory — a dead or stale daemon's
+// applications are not offerable.
+func TestAppsStaleness(t *testing.T) {
+	s := New(accounting.Dollars)
+	defer s.Close()
+	_ = s.RegisterDaemon(info("a", 8, 512, "namd"))
+	_ = s.RegisterDaemon(info("b", 8, 512, "cfd"))
+	s.MarkDead("b")
+	apps := s.Apps()
+	if len(apps) != 1 || apps[0] != "namd" {
+		t.Fatalf("apps=%v: dead daemon's apps still offered", apps)
+	}
+	s.DeadAfter = time.Millisecond
+	time.Sleep(5 * time.Millisecond)
+	if apps := s.Apps(); len(apps) != 0 {
+		t.Fatalf("apps=%v: stale daemon's apps still offered", apps)
+	}
+}
+
+// TestSettlePersistsContractShape: the history row must carry the
+// contract's app and processor range, otherwise the §5.2.1 bucket
+// filter lumps every record into the same bucket.
+func TestSettlePersistsContractShape(t *testing.T) {
+	s := New(accounting.Dollars)
+	defer s.Close()
+	err := s.Settle(protocol.SettleReq{
+		JobID: "j1", User: "u", Server: "big",
+		App: "namd", MinPE: 2, MaxPE: 16,
+		Price: 42, CPUSeconds: 420,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := s.DB.RecentContracts(nil, 1)
+	if len(recs) != 1 {
+		t.Fatal("no history row")
+	}
+	r := recs[0]
+	if r.App != "namd" || r.MinPE != 2 || r.MaxPE != 16 {
+		t.Fatalf("record=%+v: contract shape lost on settlement", r)
+	}
+}
+
+// TestHistoryBucketFilterAfterSettle: regression for the bucket filter
+// seeing only settled (wire-shaped) rows — a small-bucket query must
+// not return medium-bucket contracts and vice versa.
+func TestHistoryBucketFilterAfterSettle(t *testing.T) {
+	s := New(accounting.Dollars)
+	settle := func(id string, maxPE int, price, cpu float64) {
+		t.Helper()
+		if err := s.Settle(protocol.SettleReq{
+			JobID: id, User: "u", Server: "srv", App: "synth",
+			MinPE: 1, MaxPE: maxPE, Price: price, CPUSeconds: cpu,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle("j-small-1", 4, 12, 10) // small bucket, multiplier 1.2
+	settle("j-med", 32, 20, 10)    // medium bucket, multiplier 2.0
+	settle("j-small-2", 6, 8, 10)  // small bucket, multiplier 0.8
+	addr := startTCP(t, s)
+	conn := dial(t, addr)
+
+	query := func(maxPE int) []protocol.HistoryRecord {
+		t.Helper()
+		var reply protocol.HistoryOK
+		if err := protocol.Call(conn, protocol.TypeHistoryReq,
+			protocol.HistoryReq{MaxPE: maxPE, Limit: 10}, protocol.TypeHistoryOK, &reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Records
+	}
+	small := query(8)
+	if len(small) != 2 || small[0].Multiplier != 0.8 || small[1].Multiplier != 1.2 {
+		t.Fatalf("small bucket: %v", small)
+	}
+	medium := query(64)
+	if len(medium) != 1 || medium[0].Multiplier != 2.0 {
+		t.Fatalf("medium bucket: %v", medium)
+	}
+	if large := query(128); len(large) != 0 {
+		t.Fatalf("large bucket: %v", large)
+	}
+}
+
+// flakyListener injects transient Accept failures before delegating to
+// the real listener.
+type flakyListener struct {
+	net.Listener
+	failures atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.failures.Add(-1) >= 0 {
+		return nil, errors.New("accept: too many open files")
+	}
+	return l.Listener.Accept()
+}
+
+// TestServeSurvivesTransientAcceptErrors: a burst of EMFILE-style
+// Accept failures must not kill the listener goroutine.
+func TestServeSurvivesTransientAcceptErrors(t *testing.T) {
+	s := New(accounting.Dollars)
+	_ = s.Auth.AddUser("alice", "pw", "")
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.failures.Store(3)
+	go s.Serve(fl)
+	t.Cleanup(s.Close)
+
+	conn := dial(t, inner.Addr().String())
+	var ok protocol.AuthOK
+	if err := protocol.CallTimeout(conn, 5*time.Second, protocol.TypeAuthReq,
+		protocol.AuthReq{User: "alice", Password: "pw"}, protocol.TypeAuthOK, &ok); err != nil {
+		t.Fatalf("server never recovered from transient accept errors: %v", err)
+	}
+	if fl.failures.Load() > 0 {
+		t.Fatal("flaky listener never exercised its failures")
+	}
+}
+
+// hungListener accepts connections and never answers — the failure mode
+// a deadline-less poller hangs on forever.
+func hungListener(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			t.Cleanup(func() { conn.Close() })
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestPollOnceHungDaemonsDoNotSerialize: four hung daemons polled with
+// a 300ms probe deadline must cost ~one deadline, not four — the probes
+// run in parallel and the responsive daemon stays live.
+func TestPollOnceHungDaemonsDoNotSerialize(t *testing.T) {
+	s := New(accounting.Dollars)
+	defer s.Close()
+	s.PollTimeout = 300 * time.Millisecond
+	good := info("good", 8, 512)
+	good.Addr = pollable(t, false)
+	if err := s.RegisterDaemon(good); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hung1", "hung2", "hung3", "hung4"} {
+		i := info(name, 8, 512)
+		i.Addr = hungListener(t)
+		if err := s.RegisterDaemon(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	alive := s.PollOnce()
+	elapsed := time.Since(start)
+	if alive != 1 {
+		t.Fatalf("alive=%d, want 1", alive)
+	}
+	// Sequential probing would take ≥ 4×300ms = 1.2s.
+	if elapsed >= 1200*time.Millisecond {
+		t.Fatalf("poll took %v: hung daemons serialized the refresh", elapsed)
+	}
+	live := s.Servers(nil)
+	if len(live) != 1 || live[0].Spec.Name != "good" {
+		t.Fatalf("live=%v", live)
+	}
+}

@@ -29,24 +29,45 @@ type Client struct {
 	Token          string
 	// DialTimeout bounds every connection attempt.
 	DialTimeout time.Duration
+	// RPCTimeout bounds each request/response round trip, so a hung
+	// server cannot stall the client forever (zero =
+	// protocol.DefaultCallTimeout).
+	RPCTimeout time.Duration
 	// UploadChunk is the staging chunk size in bytes.
 	UploadChunk int
 }
 
 // Login authenticates with the Central Server and returns a session.
 func Login(centralAddr, user, password string) (*Client, error) {
-	c := &Client{CentralAddr: centralAddr, User: user, DialTimeout: 5 * time.Second, UploadChunk: 1 << 20}
+	return LoginTimeout(centralAddr, user, password, 0)
+}
+
+// LoginTimeout is Login with an explicit per-call deadline, applied to
+// the login exchange and inherited by the session's subsequent calls.
+func LoginTimeout(centralAddr, user, password string, rpcTimeout time.Duration) (*Client, error) {
+	c := &Client{CentralAddr: centralAddr, User: user, DialTimeout: 5 * time.Second, RPCTimeout: rpcTimeout, UploadChunk: 1 << 20}
 	conn, err := c.dial(centralAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	var ok protocol.AuthOK
-	if err := protocol.Call(conn, protocol.TypeAuthReq, protocol.AuthReq{User: user, Password: password}, protocol.TypeAuthOK, &ok); err != nil {
+	if err := protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeAuthReq, protocol.AuthReq{User: user, Password: password}, protocol.TypeAuthOK, &ok); err != nil {
 		return nil, fmt.Errorf("client: login: %w", err)
 	}
 	c.Token = ok.Token
 	return c, nil
+}
+
+// callRetry performs one dial-call-close exchange with the per-call
+// deadline, retrying transport failures with jittered backoff. Only
+// idempotent requests (directory reads, status queries) go through it;
+// a remote refusal aborts immediately.
+func (c *Client) callRetry(addr, reqType string, req any, wantReply string, reply any) error {
+	r := protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond}
+	return r.Do(func() error {
+		return protocol.DialCall(addr, c.RPCTimeout, reqType, req, wantReply, reply)
+	})
 }
 
 func (c *Client) dial(addr string) (net.Conn, error) {
@@ -64,13 +85,8 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 // ListServers asks the Central Server for Compute Servers matching the
 // contract (nil lists all).
 func (c *Client) ListServers(contract *qos.Contract) ([]protocol.ServerInfo, error) {
-	conn, err := c.dial(c.CentralAddr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
 	var reply protocol.ListServersOK
-	err = protocol.Call(conn, protocol.TypeListServersReq,
+	err := c.callRetry(c.CentralAddr, protocol.TypeListServersReq,
 		protocol.ListServersReq{Token: c.Token, Contract: contract},
 		protocol.TypeListServersOK, &reply)
 	if err != nil {
@@ -81,13 +97,8 @@ func (c *Client) ListServers(contract *qos.Contract) ([]protocol.ServerInfo, err
 
 // ListApps fetches the grid's Known Applications catalogue.
 func (c *Client) ListApps() ([]string, error) {
-	conn, err := c.dial(c.CentralAddr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
 	var reply protocol.ListAppsOK
-	if err := protocol.Call(conn, protocol.TypeListAppsReq, protocol.ListAppsReq{Token: c.Token}, protocol.TypeListAppsOK, &reply); err != nil {
+	if err := c.callRetry(c.CentralAddr, protocol.TypeListAppsReq, protocol.ListAppsReq{Token: c.Token}, protocol.TypeListAppsOK, &reply); err != nil {
 		return nil, fmt.Errorf("client: list apps: %w", err)
 	}
 	return reply.Apps, nil
@@ -95,13 +106,8 @@ func (c *Client) ListApps() ([]string, error) {
 
 // Credits queries a cluster's bartering balance.
 func (c *Client) Credits(cluster string) (float64, error) {
-	conn, err := c.dial(c.CentralAddr)
-	if err != nil {
-		return 0, err
-	}
-	defer conn.Close()
 	var reply protocol.CreditsOK
-	if err := protocol.Call(conn, protocol.TypeCreditsReq, protocol.CreditsReq{Token: c.Token, Cluster: cluster}, protocol.TypeCreditsOK, &reply); err != nil {
+	if err := c.callRetry(c.CentralAddr, protocol.TypeCreditsReq, protocol.CreditsReq{Token: c.Token, Cluster: cluster}, protocol.TypeCreditsOK, &reply); err != nil {
 		return 0, fmt.Errorf("client: credits: %w", err)
 	}
 	return reply.Credits, nil
@@ -124,7 +130,7 @@ func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, boo
 	}
 	defer conn.Close()
 	var reply protocol.BidOK
-	err = protocol.Call(conn, protocol.TypeBidReq,
+	err = protocol.CallTimeout(conn, p.c.RPCTimeout, protocol.TypeBidReq,
 		protocol.BidReq{User: p.c.User, Token: p.c.Token, Contract: contract},
 		protocol.TypeBidOK, &reply)
 	if err != nil {
@@ -143,7 +149,7 @@ func (p *fdPort) Commit(_ float64, jobID string, b bidding.Bid) error {
 	}
 	defer conn.Close()
 	var reply protocol.CommitOK
-	return protocol.Call(conn, protocol.TypeCommitReq,
+	return protocol.CallTimeout(conn, p.c.RPCTimeout, protocol.TypeCommitReq,
 		protocol.CommitReq{User: p.c.User, Token: p.c.Token, JobID: jobID, Bid: b},
 		protocol.TypeCommitOK, &reply)
 }
@@ -234,7 +240,7 @@ func (c *Client) Upload(p *Placement, name string, data []byte) error {
 			req.SHA256 = digest
 		}
 		var reply protocol.UploadOK
-		if err := protocol.Call(conn, protocol.TypeUploadReq, req, protocol.TypeUploadOK, &reply); err != nil {
+		if err := protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeUploadReq, req, protocol.TypeUploadOK, &reply); err != nil {
 			return fmt.Errorf("client: upload %s: %w", name, err)
 		}
 		if last {
@@ -252,20 +258,15 @@ func (c *Client) Start(p *Placement) error {
 	}
 	defer conn.Close()
 	var reply protocol.SubmitOK
-	return protocol.Call(conn, protocol.TypeSubmitReq,
+	return protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeSubmitReq,
 		protocol.SubmitReq{User: c.User, Token: c.Token, JobID: p.JobID, Contract: p.Contract},
 		protocol.TypeSubmitOK, &reply)
 }
 
 // Status queries the job's current state from its daemon.
 func (c *Client) Status(p *Placement) (protocol.StatusOK, error) {
-	conn, err := c.dial(p.Server.Addr)
-	if err != nil {
-		return protocol.StatusOK{}, err
-	}
-	defer conn.Close()
 	var reply protocol.StatusOK
-	err = protocol.Call(conn, protocol.TypeStatusReq,
+	err := c.callRetry(p.Server.Addr, protocol.TypeStatusReq,
 		protocol.StatusReq{Token: c.Token, JobID: p.JobID},
 		protocol.TypeStatusOK, &reply)
 	return reply, err
@@ -299,7 +300,7 @@ func (c *Client) Kill(p *Placement) (protocol.KillOK, error) {
 	}
 	defer conn.Close()
 	var reply protocol.KillOK
-	err = protocol.Call(conn, protocol.TypeKillReq,
+	err = protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeKillReq,
 		protocol.KillReq{User: c.User, Token: c.Token, JobID: p.JobID},
 		protocol.TypeKillOK, &reply)
 	return reply, err
@@ -316,7 +317,7 @@ func (c *Client) FetchOutput(p *Placement, name string) ([]byte, error) {
 	off := int64(0)
 	for {
 		var reply protocol.OutputOK
-		err := protocol.Call(conn, protocol.TypeOutputReq,
+		err := protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeOutputReq,
 			protocol.OutputReq{Token: c.Token, JobID: p.JobID, Name: name, Offset: off, Limit: 1 << 20},
 			protocol.TypeOutputOK, &reply)
 		if err != nil {
@@ -344,6 +345,9 @@ func (c *Client) Watch(jobID string, fromStart bool, fn func(protocol.Telemetry)
 		return err
 	}
 	defer conn.Close()
+	// Deadline-guard the subscribe handshake only; the telemetry stream
+	// that follows is long-lived by design.
+	_ = conn.SetDeadline(time.Now().Add(protocol.Timeout(c.RPCTimeout)))
 	if err := protocol.WriteFrame(conn, protocol.TypeWatchReq, protocol.WatchReq{Token: c.Token, JobID: jobID, FromStart: fromStart}); err != nil {
 		return err
 	}
@@ -351,6 +355,7 @@ func (c *Client) Watch(jobID string, fromStart bool, fn func(protocol.Telemetry)
 	if err != nil {
 		return err
 	}
+	_ = conn.SetDeadline(time.Time{})
 	if f.Type == protocol.TypeError {
 		var e protocol.ErrorBody
 		_ = protocol.Decode(f, protocol.TypeError, &e)

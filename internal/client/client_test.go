@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -206,6 +207,63 @@ func TestListAppsAndCredits(t *testing.T) {
 	credits, err := cl.Credits("box")
 	if err != nil || credits != 77 {
 		t.Fatalf("credits=%v err=%v", credits, err)
+	}
+}
+
+// TestClientBoundedByRPCTimeout: a server that accepts connections but
+// never answers must cost the client at most the configured deadline
+// per attempt — login, directory reads, and status queries all return
+// instead of hanging.
+func TestClientBoundedByRPCTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Hold accepted conns open and never reply.
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	addr := l.Addr().String()
+
+	start := time.Now()
+	if _, err := LoginTimeout(addr, "alice", "pw", 100*time.Millisecond); err == nil {
+		t.Fatal("login against a hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("login stalled %v despite the deadline", elapsed)
+	}
+
+	cl := &Client{CentralAddr: addr, Token: "tok", RPCTimeout: 100 * time.Millisecond}
+	start = time.Now()
+	if _, err := cl.ListServers(nil); err == nil {
+		t.Fatal("list against a hung server succeeded")
+	}
+	// Three retry attempts plus jittered backoff still stay bounded.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("list stalled %v despite deadline and bounded retry", elapsed)
+	}
+	p := &Placement{JobID: "j"}
+	p.Server.Addr = addr
+	if _, err := cl.Status(p); err == nil {
+		t.Fatal("status against a hung daemon succeeded")
 	}
 }
 

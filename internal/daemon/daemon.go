@@ -56,6 +56,13 @@ type Config struct {
 	// loses its in-memory directory; the heartbeat restores the entry
 	// without operator action.
 	ReRegister time.Duration
+	// RPCTimeout bounds each outbound round trip (register, verify,
+	// settle, AppSpector); default protocol.DefaultCallTimeout.
+	RPCTimeout time.Duration
+	// SettleRetry is the wall cadence at which unacknowledged
+	// settlements are redelivered from the outbox (default 1s). A
+	// briefly-unreachable Central Server must not lose billing records.
+	SettleRetry time.Duration
 }
 
 // reservation is a committed-but-not-yet-submitted contract (phase two
@@ -81,6 +88,9 @@ type Daemon struct {
 	outstanding float64
 	settledIDs  map[string]bool
 	tempSeq     uint64
+	// outbox holds settlements the Central Server has not acknowledged
+	// yet; runLoop redelivers them until each is acked (or refused).
+	outbox []protocol.SettleReq
 
 	Stage *stage.Store
 
@@ -115,6 +125,12 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if cfg.ReRegister <= 0 {
 		cfg.ReRegister = 30 * time.Second
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = protocol.DefaultCallTimeout
+	}
+	if cfg.SettleRetry <= 0 {
+		cfg.SettleRetry = time.Second
 	}
 	if cfg.Info.Home == "" {
 		cfg.Info.Home = cfg.Info.Spec.Name
@@ -227,18 +243,25 @@ func (d *Daemon) Close() {
 	}
 	d.asMu.Unlock()
 	d.wg.Wait()
+	// Last chance to deliver queued settlements (grid.Close stops
+	// daemons before the Central Server for exactly this reason).
+	d.flushSettlements()
 }
 
 // register announces this daemon to the Central Server ("at startup each
-// FD registers itself with the Faucets Central Server").
+// FD registers itself with the Faucets Central Server"). Registration is
+// idempotent, so transient failures are retried with jittered backoff.
 func (d *Daemon) register() error {
-	conn, err := net.DialTimeout("tcp", d.cfg.CentralAddr, 5*time.Second)
+	retry := protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: time.Second, Stop: d.closed}
+	err := retry.Do(func() error {
+		var ok protocol.RegisterOK
+		return protocol.DialCall(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+			protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
+	})
 	if err != nil {
-		return fmt.Errorf("daemon: register dial: %w", err)
+		return fmt.Errorf("daemon: register: %w", err)
 	}
-	defer conn.Close()
-	var ok protocol.RegisterOK
-	return protocol.Call(conn, protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
+	return nil
 }
 
 // verify re-checks a client's credentials with the Central Server (§2.2).
@@ -247,25 +270,26 @@ func (d *Daemon) verify(user, token string) error {
 	if d.cfg.CentralAddr == "" {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", d.cfg.CentralAddr, 5*time.Second)
-	if err != nil {
-		return fmt.Errorf("daemon: verify dial: %w", err)
-	}
-	defer conn.Close()
 	var ok protocol.VerifyOK
-	return protocol.Call(conn, protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
+	return protocol.DialCall(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+		protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
 }
 
-// runLoop advances the scheduler in wall time, emitting telemetry and
-// settling finished jobs.
+// runLoop advances the scheduler in wall time, emitting telemetry,
+// settling finished jobs, and redelivering unacknowledged settlements.
 func (d *Daemon) runLoop() {
 	ticker := time.NewTicker(d.cfg.Tick)
 	defer ticker.Stop()
+	settleTicker := time.NewTicker(d.cfg.SettleRetry)
+	defer settleTicker.Stop()
 	lastTelemetry := 0.0
 	for {
 		select {
 		case <-d.closed:
 			return
+		case <-settleTicker.C:
+			d.flushSettlements()
+			continue
 		case <-ticker.C:
 		}
 		now := d.Now()
@@ -292,7 +316,9 @@ func (d *Daemon) runLoop() {
 	}
 }
 
-// finishJob settles and reports a completed job.
+// finishJob settles and reports a completed job. The settlement is
+// queued in the outbox and flushed immediately; if the Central Server
+// is unreachable the record survives and runLoop redelivers it.
 func (d *Daemon) finishJob(now float64, j *job.Job) {
 	id := string(j.ID)
 	d.mu.Lock()
@@ -307,35 +333,85 @@ func (d *Daemon) finishJob(now float64, j *job.Job) {
 	}
 	price := d.prices[id]
 	owner := d.owners[id]
+	tmpUser := d.tempUsers[id]
 	cpuUsed := j.CPUUsed()
 	sample := snapshotTelemetry(now, j, fmt.Sprintf("%s finished at %.1f", id, now))
+	if d.cfg.CentralAddr != "" {
+		// The Central Server resolves the user's home cluster from its
+		// own accounts; the FD holds no accounting information. The
+		// contract shape rides along for the §5.2.1 history buckets.
+		d.outbox = append(d.outbox, protocol.SettleReq{
+			JobID: id, User: owner, Server: d.Name(),
+			App: j.Contract.App, MinPE: j.Contract.MinPE, MaxPE: j.Contract.MaxPE,
+			Price: price, CPUSeconds: cpuUsed,
+		})
+	}
 	d.mu.Unlock()
 
 	// The synthetic application's output file, stamped with the
 	// temporary userid the job ran under (§2.2).
-	d.mu.Lock()
-	tmpUser := d.tempUsers[id]
-	d.mu.Unlock()
 	_ = d.Stage.Append(id, "stdout.log", []byte(fmt.Sprintf("[%.1f] %s completed as %s: %.0f CPU-seconds\n", now, id, tmpUser, cpuUsed)))
 	_ = d.Stage.Put(id, "result.out", []byte(fmt.Sprintf("job=%s user=%s work=%.0f cpu=%.0f\n", id, tmpUser, j.Contract.Work, cpuUsed)))
 
 	d.emitTelemetry(sample)
+	d.flushSettlements()
+}
 
-	if d.cfg.CentralAddr != "" {
-		conn, err := net.DialTimeout("tcp", d.cfg.CentralAddr, 5*time.Second)
+// flushSettlements delivers queued settlements to the Central Server,
+// removing each acknowledged (or permanently refused) one from the
+// outbox. Transport failures keep records queued for the next cycle.
+func (d *Daemon) flushSettlements() {
+	if d.cfg.CentralAddr == "" {
+		return
+	}
+	d.mu.Lock()
+	pending := append([]protocol.SettleReq(nil), d.outbox...)
+	d.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	conn, err := protocol.Dial(d.cfg.CentralAddr, d.cfg.RPCTimeout)
+	if err != nil {
+		return // Central Server down: the outbox keeps the records
+	}
+	defer conn.Close()
+	done := make(map[string]bool, len(pending))
+	for _, req := range pending {
+		var ok protocol.SettleOK
+		err := protocol.CallTimeout(conn, d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
 		if err == nil {
-			var ok protocol.SettleOK
-			// The Central Server resolves the user's home cluster from
-			// its own accounts; the FD holds no accounting information.
-			_ = protocol.Call(conn, protocol.TypeSettleReq, protocol.SettleReq{
-				JobID: id, User: owner, Server: d.Name(),
-				Price: price, CPUSeconds: cpuUsed,
-			}, protocol.TypeSettleOK, &ok)
-			conn.Close()
-		} else {
-			log.Printf("daemon %s: settle %s: %v", d.Name(), id, err)
+			done[req.JobID] = true
+			continue
+		}
+		var remote *protocol.RemoteError
+		if errors.As(err, &remote) {
+			// Delivered but refused: retrying unchanged cannot succeed,
+			// so drop it rather than poison the queue forever.
+			log.Printf("daemon %s: settlement %s refused: %v", d.Name(), req.JobID, err)
+			done[req.JobID] = true
+			continue
+		}
+		break // connection-level trouble: retry the rest next cycle
+	}
+	if len(done) == 0 {
+		return
+	}
+	d.mu.Lock()
+	kept := d.outbox[:0]
+	for _, req := range d.outbox {
+		if !done[req.JobID] {
+			kept = append(kept, req)
 		}
 	}
+	d.outbox = kept
+	d.mu.Unlock()
+}
+
+// OutboxLen reports how many settlements await acknowledgement.
+func (d *Daemon) OutboxLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.outbox)
 }
 
 // snapshotTelemetry reads a job's fields into a telemetry sample; the
@@ -363,13 +439,13 @@ func (d *Daemon) emitTelemetry(t protocol.Telemetry) {
 	d.asMu.Lock()
 	defer d.asMu.Unlock()
 	if d.asConn == nil {
-		conn, err := net.DialTimeout("tcp", d.cfg.AppSpectorAddr, 5*time.Second)
+		conn, err := protocol.Dial(d.cfg.AppSpectorAddr, d.cfg.RPCTimeout)
 		if err != nil {
 			return
 		}
 		d.asConn = conn
 	}
-	if err := protocol.WriteFrame(d.asConn, protocol.TypeTelemetry, t); err != nil {
+	if err := protocol.WriteFrameTimeout(d.asConn, d.cfg.RPCTimeout, protocol.TypeTelemetry, t); err != nil {
 		d.asConn.Close()
 		d.asConn = nil
 	}
@@ -380,19 +456,17 @@ func (d *Daemon) registerWithAppSpector(id, owner, app string) {
 	if d.cfg.AppSpectorAddr == "" {
 		return
 	}
-	conn, err := net.DialTimeout("tcp", d.cfg.AppSpectorAddr, 5*time.Second)
-	if err != nil {
-		return
-	}
-	defer conn.Close()
 	var ok protocol.ASRegisterOK
-	_ = protocol.Call(conn, protocol.TypeASRegisterReq, protocol.ASRegisterReq{
-		JobID: id, Owner: owner, Server: d.Name(), App: app,
-	}, protocol.TypeASRegisterOK, &ok)
+	_ = protocol.DialCall(d.cfg.AppSpectorAddr, d.cfg.RPCTimeout,
+		protocol.TypeASRegisterReq, protocol.ASRegisterReq{
+			JobID: id, Owner: owner, Server: d.Name(), App: app,
+		}, protocol.TypeASRegisterOK, &ok)
 }
 
-// serve accepts connections until Close.
+// serve accepts connections until Close, riding out transient accept
+// failures with a capped backoff (same policy as central.Serve).
 func (d *Daemon) serve(l net.Listener) {
+	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -401,9 +475,23 @@ func (d *Daemon) serve(l net.Listener) {
 				return
 			default:
 			}
-			log.Printf("daemon %s: accept: %v", d.Name(), err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			log.Printf("daemon %s: accept: %v (retrying in %v)", d.Name(), err, backoff)
+			select {
+			case <-d.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		d.track(conn, true)
 		d.wg.Add(1)
 		go func() {

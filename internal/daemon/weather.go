@@ -1,7 +1,6 @@
 package daemon
 
 import (
-	"net"
 	"sync"
 	"time"
 
@@ -20,6 +19,9 @@ type CentralWeather struct {
 	Addr string
 	// TTL is the cache lifetime (default 2s wall time).
 	TTL time.Duration
+	// Timeout bounds the fetch round trip (default
+	// protocol.DefaultCallTimeout).
+	Timeout time.Duration
 
 	mu      sync.Mutex
 	last    weather.Report
@@ -50,13 +52,8 @@ func (c *CentralWeather) GridWeather(now float64) (weather.Report, bool) {
 }
 
 func (c *CentralWeather) fetch() (weather.Report, bool) {
-	conn, err := net.DialTimeout("tcp", c.Addr, 5*time.Second)
-	if err != nil {
-		return weather.Report{}, false
-	}
-	defer conn.Close()
 	var reply protocol.WeatherOK
-	if err := protocol.Call(conn, protocol.TypeWeatherReq, protocol.WeatherReq{}, protocol.TypeWeatherOK, &reply); err != nil {
+	if err := protocol.DialCall(c.Addr, c.Timeout, protocol.TypeWeatherReq, protocol.WeatherReq{}, protocol.TypeWeatherOK, &reply); err != nil {
 		return weather.Report{}, false
 	}
 	return weather.Report{
@@ -76,17 +73,15 @@ func (c *CentralWeather) fetch() (weather.Report, bool) {
 type CentralHistory struct {
 	// Addr is the Central Server address.
 	Addr string
+	// Timeout bounds the fetch round trip (default
+	// protocol.DefaultCallTimeout).
+	Timeout time.Duration
 }
 
 // SimilarContracts implements bidding.HistoryView.
 func (c *CentralHistory) SimilarContracts(now float64, ct *qos.Contract, limit int) []bidding.HistoryRecord {
-	conn, err := net.DialTimeout("tcp", c.Addr, 5*time.Second)
-	if err != nil {
-		return nil
-	}
-	defer conn.Close()
 	var reply protocol.HistoryOK
-	err = protocol.Call(conn, protocol.TypeHistoryReq,
+	err := protocol.DialCall(c.Addr, c.Timeout, protocol.TypeHistoryReq,
 		protocol.HistoryReq{MaxPE: ct.MaxPE, Limit: limit}, protocol.TypeHistoryOK, &reply)
 	if err != nil {
 		return nil

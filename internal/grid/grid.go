@@ -49,6 +49,11 @@ type Options struct {
 	SchedCfg scheduler.Config
 	// PollInterval enables the FS registry refresh loop when > 0.
 	PollInterval time.Duration
+	// RPCTimeout bounds every wire round trip (FS polls, FD
+	// register/verify/settle); zero uses protocol defaults.
+	RPCTimeout time.Duration
+	// SettleRetry is the daemons' settlement-outbox redelivery cadence.
+	SettleRetry time.Duration
 }
 
 // Grid is a running loopback Faucets deployment.
@@ -82,6 +87,10 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 		return nil, err
 	}
 	g.CentralAddr = fsl.Addr().String()
+	if opts.RPCTimeout > 0 {
+		g.Central.PollTimeout = opts.RPCTimeout
+		g.Central.RPCTimeout = opts.RPCTimeout
+	}
 	go g.Central.Serve(fsl)
 	if opts.PollInterval > 0 {
 		g.Central.StartPolling(opts.PollInterval)
@@ -112,6 +121,8 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 			CentralAddr:    g.CentralAddr,
 			AppSpectorAddr: g.AppSpectorAddr,
 			TimeScale:      opts.TimeScale,
+			RPCTimeout:     opts.RPCTimeout,
+			SettleRetry:    opts.SettleRetry,
 		})
 		if err != nil {
 			g.Close()

@@ -113,10 +113,8 @@ func Call(rw io.ReadWriter, reqType string, req any, wantReply string, reply any
 	}
 	if f.Type == TypeError {
 		var e ErrorBody
-		if derr := Decode(f, TypeError, &e); derr == nil && e.Message != "" {
-			return fmt.Errorf("protocol: remote error: %s", e.Message)
-		}
-		return errors.New("protocol: unspecified remote error")
+		_ = Decode(f, TypeError, &e)
+		return &RemoteError{Message: e.Message}
 	}
 	return Decode(f, wantReply, reply)
 }

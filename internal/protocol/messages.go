@@ -180,12 +180,18 @@ type VerifyOK struct {
 
 // SettleReq reports a finished job's billing to the Central Server:
 // price actually charged and, in bartering mode, the credit transfer
-// between home cluster and executing cluster.
+// between home cluster and executing cluster. The contract shape (App,
+// MinPE, MaxPE) rides along so the §5.2.1 history keeps per-bucket
+// price statistics — without it every settled contract would collapse
+// into one histogram bucket and bid generators would price blind.
 type SettleReq struct {
 	JobID       string  `json:"job_id"`
 	User        string  `json:"user"`
 	Server      string  `json:"server"`
 	HomeCluster string  `json:"home_cluster,omitempty"`
+	App         string  `json:"app,omitempty"`
+	MinPE       int     `json:"min_pe,omitempty"`
+	MaxPE       int     `json:"max_pe,omitempty"`
 	Price       float64 `json:"price"`
 	CPUSeconds  float64 `json:"cpu_seconds"`
 }

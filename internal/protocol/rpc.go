@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// This file is the robustness layer over the raw framing of framing.go:
+// per-call deadlines so a hung peer cannot stall a caller forever, a
+// dialer with a bounded connection attempt, and a jittered-backoff
+// retry helper for idempotent calls. Every component that crosses the
+// wire (FS poller, FD register/verify/settle, federation, client)
+// routes its request/response exchanges through these helpers.
+
+// DefaultCallTimeout bounds one RPC round trip (request write + reply
+// read) when the caller does not configure a timeout of its own.
+const DefaultCallTimeout = 5 * time.Second
+
+// Timeout resolves a config field's "zero means default" convention.
+func Timeout(d time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return DefaultCallTimeout
+}
+
+// RemoteError is a failure reported by the peer: the request was
+// delivered and refused, so retrying it unchanged cannot succeed.
+// Transport failures (dial, deadline, broken pipe) are never
+// RemoteErrors.
+type RemoteError struct {
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Message == "" {
+		return "protocol: unspecified remote error"
+	}
+	return "protocol: remote error: " + e.Message
+}
+
+// Dial connects to addr within timeout (zero = DefaultCallTimeout).
+func Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, Timeout(timeout))
+}
+
+// CallTimeout performs Call under an absolute deadline covering both
+// the request write and the reply read, then clears the deadline so the
+// connection can be reused. A peer that accepts the connection but
+// never answers costs the caller at most timeout.
+func CallTimeout(conn net.Conn, timeout time.Duration, reqType string, req any, wantReply string, reply any) error {
+	if err := conn.SetDeadline(time.Now().Add(Timeout(timeout))); err != nil {
+		return fmt.Errorf("protocol: set deadline: %w", err)
+	}
+	defer conn.SetDeadline(time.Time{})
+	return Call(conn, reqType, req, wantReply, reply)
+}
+
+// WriteFrameTimeout bounds a single frame write — used on long-lived
+// streams (telemetry) where only the send should be deadline-guarded.
+func WriteFrameTimeout(conn net.Conn, timeout time.Duration, typ string, body any) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(Timeout(timeout))); err != nil {
+		return fmt.Errorf("protocol: set write deadline: %w", err)
+	}
+	defer conn.SetWriteDeadline(time.Time{})
+	return WriteFrame(conn, typ, body)
+}
+
+// DialCall is the one-shot exchange most components need: dial, one
+// deadline-bounded round trip, close.
+func DialCall(addr string, timeout time.Duration, reqType string, req any, wantReply string, reply any) error {
+	conn, err := Dial(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return CallTimeout(conn, timeout, reqType, req, wantReply, reply)
+}
+
+// Retry runs an idempotent operation with jittered exponential backoff.
+// The zero value is usable: 3 attempts, 50ms base, 2s cap.
+type Retry struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Base is the backoff before the second attempt (default 50ms).
+	Base time.Duration
+	// Max caps the backoff between attempts (default 2s).
+	Max time.Duration
+	// Stop aborts the wait between attempts when closed (optional).
+	Stop <-chan struct{}
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts > 0 {
+		return r.Attempts
+	}
+	return 3
+}
+
+// Delay returns the jittered backoff after failed attempt n (0-based):
+// exponential growth from Base, multiplied by a random factor in
+// [0.5, 1.5), and never above Max.
+func (r Retry) Delay(n int) time.Duration {
+	base := r.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := r.Max
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := max
+	// The shift overflows past ~30 doublings; by then we are at the cap
+	// anyway.
+	if n < 30 {
+		if grown := base << uint(n); grown > 0 && grown < max {
+			d = grown
+		}
+	}
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Do runs f until it succeeds, attempts are exhausted, or Stop closes,
+// and returns the last error. A *RemoteError aborts immediately: the
+// peer received the request and refused it, so an unchanged retry
+// cannot succeed. Only use Do for idempotent calls.
+func (r Retry) Do(f func() error) error {
+	var err error
+	attempts := r.attempts()
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		select {
+		case <-r.Stop:
+			return err
+		case <-time.After(r.Delay(i)):
+		}
+	}
+	return err
+}

@@ -17,6 +17,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"faucets/internal/appspector"
@@ -61,6 +64,18 @@ func main() {
 			}
 		}()
 	}
+	// Serve until SIGINT/SIGTERM, then stop accepting and drain handlers;
+	// main waits for the close to finish before exiting.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sig := <-ch
+		log.Printf("appspector: %v: shutting down", sig)
+		srv.Close()
+	}()
 	log.Printf("appspector: listening on %s", l.Addr())
 	srv.Serve(l)
+	<-done
 }

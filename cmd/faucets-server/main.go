@@ -31,8 +31,10 @@ func main() {
 	usersFile := flag.String("users", "", "file of user:password[:homecluster] lines")
 	poll := flag.Duration("poll", 10*time.Second, "daemon polling interval (0 disables)")
 	deadAfter := flag.Duration("dead-after", 30*time.Second, "unseen daemons drop from the directory after this long")
-	dbPath := flag.String("db", "", "JSON snapshot file: loaded at startup if present, saved periodically and on shutdown")
+	dbPath := flag.String("db", "", "legacy JSON snapshot file: loaded at startup if present, saved periodically and on shutdown")
 	dbEvery := flag.Duration("db-interval", time.Minute, "snapshot save interval (with -db)")
+	stateDir := flag.String("state-dir", "", "durable state directory (snapshot + write-ahead log): every mutation is logged, and a restarted server recovers accounts, history, and settled-job marks")
+	snapEvery := flag.Duration("snapshot-interval", time.Minute, "WAL compaction interval (with -state-dir)")
 	peers := flag.String("peers", "", "comma-separated peer Central Server addresses (distributed directory, §5.1)")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each federation RPC round trip")
 	pollTimeout := flag.Duration("poll-timeout", 3*time.Second, "deadline for each daemon liveness probe")
@@ -51,8 +53,19 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
+	if *dbPath != "" && *stateDir != "" {
+		log.Fatal("-db and -state-dir are mutually exclusive (use -state-dir; -db is the legacy snapshot-only format)")
+	}
 	var srv *central.Server
-	if *dbPath != "" {
+	switch {
+	case *stateDir != "":
+		store, err := db.Open(*stateDir)
+		if err != nil {
+			log.Fatalf("db: %v", err)
+		}
+		srv = central.NewWithDB(m, store)
+		log.Printf("faucets-server: recovered durable state from %s (%d history records)", *stateDir, store.HistoryLen())
+	case *dbPath != "":
 		if store, err := db.Load(*dbPath); err == nil {
 			srv = central.NewWithDB(m, store)
 			log.Printf("faucets-server: resumed database from %s", *dbPath)
@@ -61,7 +74,7 @@ func main() {
 		} else {
 			log.Fatalf("db: %v", err)
 		}
-	} else {
+	default:
 		srv = central.New(m)
 	}
 	srv.DeadAfter = *deadAfter
@@ -90,15 +103,26 @@ func main() {
 	if *poll > 0 {
 		srv.StartPolling(*poll)
 	}
+	if *stateDir != "" {
+		srv.StartSnapshots(*snapEvery)
+	}
 	if *dbPath != "" {
 		go snapshotLoop(srv, *dbPath, *dbEvery)
-		go saveOnShutdown(srv, *dbPath)
 	}
+	// Serve returns as soon as Close severs the listener, so main must
+	// wait for the shutdown sequence (final compaction, WAL close) to
+	// finish before the process may exit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		shutdownOnSignal(srv, *dbPath)
+	}()
 	log.Printf("faucets-server: %s mode on %s", m, l.Addr())
 	srv.Serve(l)
+	<-done
 }
 
-// snapshotLoop persists the database periodically.
+// snapshotLoop persists the legacy -db snapshot periodically.
 func snapshotLoop(srv *central.Server, path string, every time.Duration) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
@@ -109,16 +133,24 @@ func snapshotLoop(srv *central.Server, path string, every time.Duration) {
 	}
 }
 
-// saveOnShutdown flushes the database on SIGINT/SIGTERM and exits.
-func saveOnShutdown(srv *central.Server, path string) {
+// shutdownOnSignal stops the server gracefully on SIGINT/SIGTERM: stop
+// accepting, flush durable state (a final WAL compaction runs inside
+// Close's snapshot loop; the legacy -db path saves explicitly), and
+// close the log.
+func shutdownOnSignal(srv *central.Server, legacyDB string) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
-	if err := srv.DB.Save(path); err != nil {
-		log.Printf("db save: %v", err)
-	}
+	sig := <-ch
+	log.Printf("faucets-server: %v: shutting down", sig)
 	srv.Close()
-	os.Exit(0)
+	if legacyDB != "" {
+		if err := srv.DB.Save(legacyDB); err != nil {
+			log.Printf("db save: %v", err)
+		}
+	}
+	if err := srv.DB.Close(); err != nil {
+		log.Printf("db close: %v", err)
+	}
 }
 
 func loadUsers(srv *central.Server, path string) error {

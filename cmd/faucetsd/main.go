@@ -14,7 +14,10 @@ import (
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"faucets/internal/bidding"
@@ -41,6 +44,7 @@ func main() {
 	timeScale := flag.Float64("timescale", 1.0, "virtual seconds per wall second")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each outbound RPC round trip")
 	settleRetry := flag.Duration("settle-retry", time.Second, "redelivery cadence for unacknowledged settlements")
+	stateDir := flag.String("state-dir", "", "durable state directory: admitted jobs and the settlement outbox are journaled, and a restarted daemon resumes them")
 	reconfig := flag.Float64("reconfig-latency", 5.0, "adaptive-job reconfiguration stall, seconds")
 	lookahead := flag.Float64("lookahead", 3600, "profit scheduler admission lookahead, seconds")
 	preempt := flag.Bool("preempt", false, "profit scheduler: checkpoint low-payoff jobs for high-payoff arrivals (§4.1/§5.5.4)")
@@ -99,6 +103,7 @@ func main() {
 		TimeScale:      *timeScale,
 		RPCTimeout:     *rpcTimeout,
 		SettleRetry:    *settleRetry,
+		StateDir:       *stateDir,
 	})
 	if err != nil {
 		log.Fatalf("daemon: %v", err)
@@ -112,5 +117,13 @@ func main() {
 	}
 	log.Printf("faucetsd: %s (%d PEs, %s scheduler, %s bidder) on %s",
 		*name, *pe, cm.Name(), gen.Name(), l.Addr())
-	select {} // serve until killed
+
+	// Serve until SIGINT/SIGTERM, then stop gracefully: Close severs the
+	// listener, makes a final attempt to deliver queued settlements, and
+	// compacts the journal so the next boot resumes cleanly.
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	log.Printf("faucetsd: %v: shutting down", sig)
+	d.Close()
 }

@@ -51,34 +51,24 @@ var (
 )
 
 // Accountant settles job payments in a chosen mode over the shared
-// database. It is safe for concurrent use.
+// database. All balances — SU quotas, per-server revenue, per-user
+// spend, credit ledger — live in the database, so an Accountant over a
+// durable db (db.Open) forgets nothing across a Central Server restart.
+// It is safe for concurrent use.
 type Accountant struct {
 	mode Mode
 	db   *db.DB
 
 	mu sync.Mutex
-	// quotas holds per-user SU balances (ServiceUnits mode).
-	quotas map[string]float64
 	// creditFloor is how far negative a home cluster's balance may go in
 	// Barter mode before jobs are refused off-cluster (0 = must stay
 	// non-negative).
 	creditFloor float64
-	// revenue tracks Dollar income per server (Dollars mode).
-	revenue map[string]float64
-	// spendByUser tracks cumulative spend for fair-usage reporting
-	// (§5.5.4).
-	spendByUser map[string]float64
 }
 
 // New returns an Accountant in the given mode over the database.
 func New(mode Mode, store *db.DB) *Accountant {
-	return &Accountant{
-		mode:        mode,
-		db:          store,
-		quotas:      map[string]float64{},
-		revenue:     map[string]float64{},
-		spendByUser: map[string]float64{},
-	}
+	return &Accountant{mode: mode, db: store}
 }
 
 // Mode returns the active economic context.
@@ -97,17 +87,13 @@ func (a *Accountant) GrantQuota(user string, su float64) error {
 	if su < 0 {
 		return ErrNegative
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.quotas[user] += su
+	a.db.AddQuota(user, su)
 	return nil
 }
 
 // Quota returns a user's remaining SUs.
 func (a *Accountant) Quota(user string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.quotas[user]
+	return a.db.Quota(user)
 }
 
 // CanAfford reports whether the payer can cover a price before bids are
@@ -120,7 +106,7 @@ func (a *Accountant) CanAfford(user, homeCluster, server string, price float64) 
 	defer a.mu.Unlock()
 	switch a.mode {
 	case ServiceUnits:
-		return a.quotas[user] >= price
+		return a.db.Quota(user) >= price
 	case Barter:
 		if homeCluster == "" || homeCluster == server {
 			return true // running at home costs no credits
@@ -143,13 +129,13 @@ func (a *Accountant) Settle(jobID, user, homeCluster, server string, price float
 	defer a.mu.Unlock()
 	switch a.mode {
 	case Dollars:
-		a.revenue[server] += price
+		a.db.AddRevenue(server, price)
 	case ServiceUnits:
-		if a.quotas[user] < price {
-			return fmt.Errorf("%w: user %s has %.1f, needs %.1f", ErrQuota, user, a.quotas[user], price)
+		if q := a.db.Quota(user); q < price {
+			return fmt.Errorf("%w: user %s has %.1f, needs %.1f", ErrQuota, user, q, price)
 		}
-		a.quotas[user] -= price
-		a.revenue[server] += price
+		a.db.AddQuota(user, -price)
+		a.db.AddRevenue(server, price)
 	case Barter:
 		if homeCluster != "" && homeCluster != server {
 			if a.db.Credits(homeCluster)-price < -a.creditFloor {
@@ -160,24 +146,20 @@ func (a *Accountant) Settle(jobID, user, homeCluster, server string, price float
 			}
 		}
 	}
-	a.spendByUser[user] += price
+	a.db.AddSpend(user, price)
 	return nil
 }
 
 // Revenue returns a server's cumulative income (Dollars/SU modes).
 func (a *Accountant) Revenue(server string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.revenue[server]
+	return a.db.Revenue(server)
 }
 
 // Spend returns a user's cumulative payments — the fair-usage statistic
 // of §5.5.4 ("so that high priority jobs do not forever starve a subset
 // of users, who may own some of the resources").
 func (a *Accountant) Spend(user string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spendByUser[user]
+	return a.db.Spend(user)
 }
 
 // Credits exposes the bartering balance of a cluster.

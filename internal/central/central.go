@@ -46,6 +46,10 @@ type Server struct {
 	registry map[string]*regEntry
 	peers    []string
 
+	// settleMu serializes settlement application so the settled-check,
+	// billing, and history append act as one atomic step per job ID.
+	settleMu sync.Mutex
+
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
@@ -208,13 +212,30 @@ func (s *Server) Apps() []string {
 // contract history used by §5.2.1 bid generators. The daemon holds no
 // accounting information (§2.2), so the user's home cluster is resolved
 // here when the request leaves it blank.
+//
+// Settlement is idempotent by job ID: daemons redeliver from a durable
+// outbox until acknowledged, so the same settlement may arrive twice
+// (the classic lost-ack after a crash on either side). A duplicate is
+// acknowledged without charging anything again. On a durable database
+// the whole settlement — billing mutation, settled-mark, contract row —
+// lands as one atomic WAL record, so a Central Server crash mid-settle
+// either keeps all of it or none and the daemon's redelivery repairs
+// the rest.
 func (s *Server) Settle(req protocol.SettleReq) error {
+	s.settleMu.Lock()
+	defer s.settleMu.Unlock()
+	if s.DB.Settled(req.JobID) {
+		return nil // duplicate redelivery: re-acknowledge, apply nothing
+	}
 	if req.HomeCluster == "" {
 		req.HomeCluster = s.Auth.HomeCluster(req.User)
 	}
+	s.DB.BeginBatch()
+	defer s.DB.CommitBatch()
 	if err := s.Acct.Settle(req.JobID, req.User, req.HomeCluster, req.Server, req.Price); err != nil {
 		return err
 	}
+	s.DB.MarkSettled(req.JobID)
 	mult := 0.0
 	if req.CPUSeconds > 0 {
 		mult = req.Price / req.CPUSeconds
@@ -304,6 +325,34 @@ func (s *Server) StartPolling(interval time.Duration) {
 				return
 			case <-ticker.C:
 				s.PollOnce()
+			}
+		}
+	}()
+}
+
+// StartSnapshots launches the periodic compaction loop on a durable
+// database: every interval the WAL is folded into an atomic snapshot so
+// recovery replays a short log. A final compaction runs at Close.
+func (s *Server) StartSnapshots(interval time.Duration) {
+	if !s.DB.Durable() {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.closed:
+				if err := s.DB.Compact(); err != nil {
+					log.Printf("central: final snapshot: %v", err)
+				}
+				return
+			case <-ticker.C:
+				if err := s.DB.Compact(); err != nil {
+					log.Printf("central: snapshot: %v", err)
+				}
 			}
 		}
 	}()

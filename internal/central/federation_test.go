@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"faucets/internal/accounting"
+	"faucets/internal/db"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
 )
@@ -133,6 +134,97 @@ func TestPeerListDoesNotRecurse(t *testing.T) {
 	}
 	if len(ls.Servers) != 1 || ls.Servers[0].Spec.Name != "remote-only" {
 		t.Fatalf("peer list: %v", ls.Servers)
+	}
+}
+
+// TestFederatedPeerRestartRecovery: a durable peer that crashes drops
+// out of the federation union; restarted on the same address from its
+// state directory it rejoins with its accounts, history, and settled-job
+// marks intact, and still deduplicates redelivered settlements.
+func TestFederatedPeerRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	s0 := New(accounting.Dollars)
+	defer s0.Close()
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s0.Serve(l0)
+
+	store, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewWithDB(accounting.Dollars, store)
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := l1.Addr().String()
+	go s1.Serve(l1)
+	s0.SetPeers([]string{peerAddr})
+
+	_ = s0.RegisterDaemon(info("near", 64, 1024, "synth"))
+	_ = s1.RegisterDaemon(info("far", 64, 1024, "synth"))
+	req := settleReq("j-fed", 5)
+	req.Server = "far"
+	if err := s1.Settle(req); err != nil {
+		t.Fatal(err)
+	}
+	if union := s0.FederatedServers(nil); len(union) != 2 {
+		t.Fatalf("pre-crash union=%v", union)
+	}
+
+	// Crash the peer: the union degrades to the local view.
+	s1.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if union := s0.FederatedServers(nil); len(union) != 1 || union[0].Spec.Name != "near" {
+		t.Fatalf("degraded union=%v", union)
+	}
+
+	// Restart on the same address from the same state directory. The
+	// listener may need a moment while the dead socket drains.
+	store2, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewWithDB(accounting.Dollars, store2)
+	defer s2.Close()
+	defer store2.Close()
+	var l2 net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l2, err = net.Listen("tcp", peerAddr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relisten %s: %v", peerAddr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go s2.Serve(l2)
+	// The daemon's re-register heartbeat repopulates the directory.
+	_ = s2.RegisterDaemon(info("far", 64, 1024, "synth"))
+
+	if union := s0.FederatedServers(nil); len(union) != 2 {
+		t.Fatalf("post-restart union=%v", union)
+	}
+	if rev := s2.Acct.Revenue("far"); rev != 5 {
+		t.Fatalf("peer revenue lost across restart: %v", rev)
+	}
+	if s2.DB.HistoryLen() != 1 {
+		t.Fatalf("peer history lost across restart: %d", s2.DB.HistoryLen())
+	}
+	// A settlement redelivered to the recovered peer is a duplicate.
+	if err := s2.Settle(req); err != nil {
+		t.Fatal(err)
+	}
+	if rev := s2.Acct.Revenue("far"); rev != 5 || s2.DB.HistoryLen() != 1 {
+		t.Fatalf("recovered peer re-applied a settled job: rev=%v hist=%d", rev, s2.DB.HistoryLen())
 	}
 }
 

@@ -1,0 +1,183 @@
+// Package chaos injects deterministic network faults into the Faucets
+// wire layer for crash-recovery testing: connection drops, delivery
+// delays, partial writes, and full partitions. An Injector wraps
+// net.Listener and net.Conn values; every fault decision is drawn from a
+// single seeded source, so a test that fails under one seed fails the
+// same way on every re-run.
+//
+// The injector models the failures the durability layer must survive —
+// severed connections mid-RPC (lost acks), slow links (timeouts), and
+// torn frames (partial writes) — without touching the protocol package
+// itself. Production code never imports chaos; tests thread an Injector
+// through grid.Options.
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a fault manufactured by the injector, so tests can
+// tell deliberate chaos from genuine bugs.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config sets the fault schedule. Zero probabilities inject nothing.
+type Config struct {
+	// Seed makes the schedule reproducible; the same seed and the same
+	// sequence of I/O operations draw the same faults.
+	Seed int64
+	// DropProb is the per-operation probability that the connection is
+	// severed instead of performing the read or write.
+	DropProb float64
+	// DelayProb is the per-operation probability of sleeping a uniform
+	// random duration in (0, MaxDelay] before the operation proceeds.
+	DelayProb float64
+	// MaxDelay bounds injected delays (default 5ms).
+	MaxDelay time.Duration
+	// PartialProb is the per-write probability that only a prefix of the
+	// buffer is written before the connection is severed — a torn frame.
+	PartialProb float64
+}
+
+// Stats counts the faults an Injector has delivered.
+type Stats struct {
+	Drops    int64
+	Delays   int64
+	Partials int64
+}
+
+// Injector wraps listeners and connections with a deterministic fault
+// schedule. Safe for concurrent use; all randomness is serialized
+// through one seeded source so fault order depends only on operation
+// order.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+	drops       atomic.Int64
+	delays      atomic.Int64
+	partials    atomic.Int64
+}
+
+// New returns an Injector drawing from cfg.Seed.
+func New(cfg Config) *Injector {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Partition opens (true) or heals (false) a full network partition:
+// while open, every operation on every wrapped connection fails and new
+// accepts are severed immediately.
+func (in *Injector) Partition(open bool) { in.partitioned.Store(open) }
+
+// Stats returns the cumulative fault counts.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Drops:    in.drops.Load(),
+		Delays:   in.delays.Load(),
+		Partials: in.partials.Load(),
+	}
+}
+
+// roll draws a uniform [0,1) variate from the shared source.
+func (in *Injector) roll() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+// delay draws a duration in (0, MaxDelay].
+func (in *Injector) delay() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return time.Duration(in.rng.Int63n(int64(in.cfg.MaxDelay))) + 1
+}
+
+// WrapListener makes every accepted connection fault-injected.
+func (in *Injector) WrapListener(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, in: in}
+}
+
+// WrapConn makes a single connection fault-injected (client side).
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(conn), nil
+}
+
+// faultConn applies the schedule to each Read and Write.
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+// inject runs the pre-operation schedule: partition and drop sever the
+// connection; delay sleeps. Returns a non-nil error when the operation
+// must not proceed.
+func (c *faultConn) inject() error {
+	in := c.in
+	if in.partitioned.Load() {
+		in.drops.Add(1)
+		c.Conn.Close()
+		return ErrInjected
+	}
+	if in.cfg.DropProb > 0 && in.roll() < in.cfg.DropProb {
+		in.drops.Add(1)
+		c.Conn.Close()
+		return ErrInjected
+	}
+	if in.cfg.DelayProb > 0 && in.roll() < in.cfg.DelayProb {
+		in.delays.Add(1)
+		time.Sleep(in.delay())
+	}
+	return nil
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.inject(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.inject(); err != nil {
+		return 0, err
+	}
+	if c.in.cfg.PartialProb > 0 && len(p) > 1 && c.in.roll() < c.in.cfg.PartialProb {
+		// Torn frame: deliver a strict prefix, then sever. The receiver
+		// sees a short read mid-message — exactly the shape a crash
+		// between kernel buffers produces.
+		c.in.partials.Add(1)
+		c.in.mu.Lock()
+		n := 1 + c.in.rng.Intn(len(p)-1)
+		c.in.mu.Unlock()
+		wrote, err := c.Conn.Write(p[:n])
+		c.Conn.Close()
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, ErrInjected
+	}
+	return c.Conn.Write(p)
+}

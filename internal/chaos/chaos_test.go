@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client conn talking to a server conn
+// accepted through the injector's listener wrapper (both ends faulty,
+// as in the grid tests).
+func pipePair(t *testing.T, in *Injector) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wrapped := in.WrapListener(l)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := wrapped.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	t.Cleanup(func() { raw.Close(); srv.Close() })
+	return in.WrapConn(raw), srv
+}
+
+// TestNoFaultsPassesThrough: a zero config is a transparent wrapper.
+func TestNoFaultsPassesThrough(t *testing.T) {
+	in := New(Config{Seed: 1})
+	client, server := pipePair(t, in)
+	msg := []byte("hello grid")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q", got)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("faults injected with zero config: %+v", s)
+	}
+}
+
+// TestDeterministicSchedule: two injectors with the same seed deliver
+// the same fault sequence for the same operation sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(Config{Seed: seed, DropProb: 0.3})
+		conn, _ := pipePair(t, in)
+		var faults []bool
+		for i := 0; i < 50; i++ {
+			_, err := conn.Write([]byte("x"))
+			faults = append(faults, errors.Is(err, ErrInjected))
+			if err != nil {
+				// The conn is severed after a drop: reconnect.
+				conn, _ = pipePair(t, in)
+			}
+		}
+		return faults
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestPartitionSeversEverything: while partitioned every operation
+// fails; healing restores service on fresh connections.
+func TestPartitionSeversEverything(t *testing.T) {
+	in := New(Config{Seed: 7})
+	conn, _ := pipePair(t, in)
+	in.Partition(true)
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write during partition: %v", err)
+	}
+	in.Partition(false)
+	conn2, server2 := pipePair(t, in)
+	if _, err := conn2.Write([]byte("y")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(server2, got); err != nil || got[0] != 'y' {
+		t.Fatalf("read after heal: %v %q", err, got)
+	}
+	if in.Stats().Drops == 0 {
+		t.Fatal("partition drop not counted")
+	}
+}
+
+// TestPartialWriteTearsFrame: a partial fault delivers a strict prefix
+// and severs — the peer sees a short payload then EOF.
+func TestPartialWriteTearsFrame(t *testing.T) {
+	in := New(Config{Seed: 9, PartialProb: 1})
+	client, server := pipePair(t, in)
+	msg := []byte("0123456789abcdef")
+	n, err := client.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err=%v", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial wrote %d of %d", n, len(msg))
+	}
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(server)
+	if len(got) != n {
+		t.Fatalf("peer saw %d bytes, writer reported %d", len(got), n)
+	}
+	if in.Stats().Partials != 1 {
+		t.Fatalf("partials=%d", in.Stats().Partials)
+	}
+}
+
+// TestDelayInjection: delays slow the operation without corrupting it.
+func TestDelayInjection(t *testing.T) {
+	in := New(Config{Seed: 3, DelayProb: 1, MaxDelay: 2 * time.Millisecond})
+	client, server := pipePair(t, in)
+	if _, err := client.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(server, got); err != nil || string(got) != "slow" {
+		t.Fatalf("err=%v got=%q", err, got)
+	}
+	if in.Stats().Delays == 0 {
+		t.Fatal("delay not counted")
+	}
+}

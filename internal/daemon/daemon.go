@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -63,6 +64,12 @@ type Config struct {
 	// settlements are redelivered from the outbox (default 1s). A
 	// briefly-unreachable Central Server must not lose billing records.
 	SettleRetry time.Duration
+	// StateDir, when set, makes the daemon durable: job admissions and
+	// the settlement outbox are journaled there, and New recovers them —
+	// unfinished jobs are restarted from zero under their original
+	// contract and price, and unacknowledged settlements re-enter the
+	// outbox for redelivery. "" = in-memory only.
+	StateDir string
 }
 
 // reservation is a committed-but-not-yet-submitted contract (phase two
@@ -91,6 +98,9 @@ type Daemon struct {
 	// outbox holds settlements the Central Server has not acknowledged
 	// yet; runLoop redelivers them until each is acked (or refused).
 	outbox []protocol.SettleReq
+
+	// journal persists admissions and the outbox (nil = in-memory only).
+	journal *journal
 
 	Stage *stage.Store
 
@@ -135,7 +145,7 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Info.Home == "" {
 		cfg.Info.Home = cfg.Info.Spec.Name
 	}
-	return &Daemon{
+	d := &Daemon{
 		cfg:        cfg,
 		epoch:      time.Now(),
 		jobs:       map[string]*job.Job{},
@@ -147,7 +157,51 @@ func New(cfg Config) (*Daemon, error) {
 		conns:      map[net.Conn]struct{}{},
 		Stage:      stage.NewStore(),
 		closed:     make(chan struct{}),
-	}, nil
+	}
+	if cfg.StateDir != "" {
+		if err := d.recover(filepath.Join(cfg.StateDir, "journal.jsonl")); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// recover replays the journal: unfinished jobs restart from zero work
+// under their original contract, owner, and agreed price (the synthetic
+// application has no intermediate checkpoints to resume from), and
+// queued-but-unacknowledged settlements re-enter the outbox. The journal
+// is then rewritten compacted to only the live records.
+func (d *Daemon) recover(path string) error {
+	jnl, recs, err := openJournal(path)
+	if err != nil {
+		return err
+	}
+	d.journal = jnl
+	st := reduce(recs)
+	for _, rec := range st.pending {
+		j := job.New(job.ID(rec.JobID), rec.Owner, rec.Contract, 0)
+		if !d.cfg.Scheduler.Submit(0, j) {
+			// It fit before the crash; refusing now means the cluster shrank
+			// under us. Surface the loss rather than silently dropping it.
+			log.Printf("daemon %s: recovery: scheduler refused job %s", d.cfg.Info.Spec.Name, rec.JobID)
+			continue
+		}
+		d.jobs[rec.JobID] = j
+		d.owners[rec.JobID] = rec.Owner
+		d.prices[rec.JobID] = rec.Price
+		d.tempSeq++
+		d.tempUsers[rec.JobID] = fmt.Sprintf("fauc-tmp-%06d", d.tempSeq)
+		d.outstanding += rec.Contract.Work
+		d.Stage.CreateJob(rec.JobID)
+	}
+	for _, req := range st.queued {
+		d.settledIDs[req.JobID] = true
+		d.outbox = append(d.outbox, req)
+	}
+	if err := d.journal.rewrite(st.liveRecords()); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Now returns the daemon's virtual time in seconds.
@@ -169,7 +223,10 @@ func (d *Daemon) Start(l net.Listener) error {
 	}
 	if d.cfg.CentralAddr != "" {
 		if err := d.register(); err != nil {
-			return err
+			// The Central Server being down must not keep a Compute Server
+			// from booting (it may be recovering from the same outage); the
+			// re-register heartbeat completes the registration later.
+			log.Printf("daemon %s: initial registration failed (heartbeat will retry): %v", d.Name(), err)
 		}
 	}
 	d.wg.Add(2)
@@ -246,6 +303,30 @@ func (d *Daemon) Close() {
 	// Last chance to deliver queued settlements (grid.Close stops
 	// daemons before the Central Server for exactly this reason).
 	d.flushSettlements()
+	if d.journal != nil {
+		// Compact the journal down to the live records so the next boot
+		// replays state, not history.
+		d.mu.Lock()
+		var live []journalRecord
+		for id, j := range d.jobs {
+			if !j.State().Terminal() && !d.settledIDs[id] {
+				c := *j.Contract
+				live = append(live, journalRecord{
+					Op: jopJob, JobID: id, Owner: d.owners[id],
+					Price: d.prices[id], Contract: &c,
+				})
+			}
+		}
+		for i := range d.outbox {
+			req := d.outbox[i]
+			live = append(live, journalRecord{Op: jopQueue, Settle: &req})
+		}
+		d.mu.Unlock()
+		if err := d.journal.rewrite(reduce(live).liveRecords()); err != nil {
+			log.Printf("daemon %s: journal compact: %v", d.Name(), err)
+		}
+		d.journal.close()
+	}
 }
 
 // register announces this daemon to the Central Server ("at startup each
@@ -340,11 +421,17 @@ func (d *Daemon) finishJob(now float64, j *job.Job) {
 		// The Central Server resolves the user's home cluster from its
 		// own accounts; the FD holds no accounting information. The
 		// contract shape rides along for the §5.2.1 history buckets.
-		d.outbox = append(d.outbox, protocol.SettleReq{
+		req := protocol.SettleReq{
 			JobID: id, User: owner, Server: d.Name(),
 			App: j.Contract.App, MinPE: j.Contract.MinPE, MaxPE: j.Contract.MaxPE,
 			Price: price, CPUSeconds: cpuUsed,
-		})
+		}
+		d.outbox = append(d.outbox, req)
+		// "queue" is the job's terminal journal record: the settlement now
+		// carries the obligation, and a restart redelivers it from here.
+		d.journal.append(journalRecord{Op: jopQueue, Settle: &req})
+	} else {
+		d.journal.append(journalRecord{Op: jopDone, JobID: id})
 	}
 	d.mu.Unlock()
 
@@ -401,6 +488,8 @@ func (d *Daemon) flushSettlements() {
 	for _, req := range d.outbox {
 		if !done[req.JobID] {
 			kept = append(kept, req)
+		} else {
+			d.journal.append(journalRecord{Op: jopAck, JobID: req.JobID})
 		}
 	}
 	d.outbox = kept
@@ -689,10 +778,19 @@ func (d *Daemon) commitContract(jobID, user string, b bidding.Bid) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, dup := d.reserved[jobID]; dup {
+	// Commits are idempotent per (job, user): a client whose ack was lost
+	// to the network retries the same commit and must get a fresh ack,
+	// not an error. A different user colliding on the ID is still refused.
+	if res, dup := d.reserved[jobID]; dup {
+		if res.user == user {
+			return nil
+		}
 		return fmt.Errorf("daemon: job %s already committed", jobID)
 	}
 	if _, dup := d.jobs[jobID]; dup {
+		if d.owners[jobID] == user {
+			return nil
+		}
 		return fmt.Errorf("daemon: job %s already submitted", jobID)
 	}
 	d.reserved[jobID] = &reservation{user: user, bid: b}
@@ -717,6 +815,12 @@ func (d *Daemon) submit(req protocol.SubmitReq) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.jobs[req.JobID]; dup {
+		// Same idempotency rule as commit: a retried submit from the same
+		// user is re-acknowledged rather than refused, so a lost ack does
+		// not strand the client.
+		if d.owners[req.JobID] == req.User {
+			return nil
+		}
 		return fmt.Errorf("daemon: job %s already submitted", req.JobID)
 	}
 	res := d.reserved[req.JobID]
@@ -738,6 +842,10 @@ func (d *Daemon) submit(req protocol.SubmitReq) error {
 	}
 	d.outstanding += req.Contract.Work
 	d.Stage.CreateJob(req.JobID)
+	d.journal.append(journalRecord{
+		Op: jopJob, JobID: req.JobID, Owner: req.User,
+		Price: d.prices[req.JobID], Contract: req.Contract,
+	})
 
 	// Register with AppSpector outside the lock would be nicer, but the
 	// call is quick and only happens once per job.
@@ -764,6 +872,8 @@ func (d *Daemon) kill(req protocol.KillReq) (state string, err error) {
 	if !d.cfg.Scheduler.Kill(now, j.ID) {
 		return "", fmt.Errorf("daemon: job %s could not be killed", req.JobID)
 	}
+	// A killed job settles nothing, so it is terminal for the journal.
+	d.journal.append(journalRecord{Op: jopDone, JobID: req.JobID})
 	d.outstanding -= j.RemainingWork()
 	if d.outstanding < 0 {
 		d.outstanding = 0

@@ -182,6 +182,9 @@ func TestCommitExpiredBid(t *testing.T) {
 	}
 }
 
+// Commit and submit are idempotent per (job, user) — a client retrying
+// after a lost ack is re-acknowledged — but a different user colliding
+// on the same job ID is refused.
 func TestDoubleCommitAndDoubleSubmit(t *testing.T) {
 	_, addr := startDaemon(t, Config{})
 	conn := dial(t, addr)
@@ -190,16 +193,24 @@ func TestDoubleCommitAndDoubleSubmit(t *testing.T) {
 	if err := protocol.Call(conn, protocol.TypeCommitReq, protocol.CommitReq{User: "u", JobID: "dup", Bid: b}, protocol.TypeCommitOK, &commit); err != nil {
 		t.Fatal(err)
 	}
-	if err := protocol.Call(conn, protocol.TypeCommitReq, protocol.CommitReq{User: "u", JobID: "dup", Bid: b}, protocol.TypeCommitOK, &commit); err == nil {
-		t.Fatal("double commit accepted")
+	if err := protocol.Call(conn, protocol.TypeCommitReq, protocol.CommitReq{User: "u", JobID: "dup", Bid: b}, protocol.TypeCommitOK, &commit); err != nil {
+		t.Fatalf("same-user commit retry refused: %v", err)
+	}
+	err := protocol.Call(conn, protocol.TypeCommitReq, protocol.CommitReq{User: "other", JobID: "dup", Bid: b}, protocol.TypeCommitOK, &commit)
+	if err == nil || !strings.Contains(err.Error(), "committed") {
+		t.Fatalf("foreign commit on a reserved job: err=%v", err)
 	}
 	c := contract(1e7)
 	var sub protocol.SubmitOK
 	if err := protocol.Call(conn, protocol.TypeSubmitReq, protocol.SubmitReq{User: "u", JobID: "dup", Contract: c}, protocol.TypeSubmitOK, &sub); err != nil {
 		t.Fatal(err)
 	}
-	if err := protocol.Call(conn, protocol.TypeSubmitReq, protocol.SubmitReq{User: "u", JobID: "dup", Contract: c}, protocol.TypeSubmitOK, &sub); err == nil {
-		t.Fatal("double submit accepted")
+	if err := protocol.Call(conn, protocol.TypeSubmitReq, protocol.SubmitReq{User: "u", JobID: "dup", Contract: c}, protocol.TypeSubmitOK, &sub); err != nil {
+		t.Fatalf("same-user submit retry refused: %v", err)
+	}
+	err = protocol.Call(conn, protocol.TypeSubmitReq, protocol.SubmitReq{User: "other", JobID: "dup", Contract: c}, protocol.TypeSubmitOK, &sub)
+	if err == nil || !strings.Contains(err.Error(), "submitted") {
+		t.Fatalf("foreign submit on a running job: err=%v", err)
 	}
 }
 

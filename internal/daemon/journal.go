@@ -1,0 +1,267 @@
+// Durable per-daemon state: a JSONL journal of job lifecycle events and
+// the settlement outbox, so a crashed Faucets Daemon restarts without
+// losing running-job bookkeeping or queued settlements.
+//
+// Record stream semantics (append-only, replayed in order on recovery):
+//
+//	{"op":"job", ...}    — a job was admitted: owner, price, contract
+//	{"op":"done", ...}   — the job reached a terminal state with nothing
+//	                       left to deliver (standalone finish, or kill)
+//	{"op":"queue", ...}  — the job finished and its settlement entered
+//	                       the outbox (implies terminal)
+//	{"op":"ack", ...}    — the Central Server acknowledged the settlement
+//
+// Recovery resubmits every job with a "job" record and no terminal
+// record (the synthetic application restarts from zero — the QoS
+// contract, owner, and agreed price are preserved), and reloads every
+// queued-but-unacknowledged settlement into the outbox for redelivery.
+// The Central Server deduplicates by job ID, so redelivering a
+// settlement whose ack was lost in the crash can never double-charge.
+//
+// Like the db WAL, replay stops at the first corrupt line and truncates
+// the torn tail; recovery then rewrites the journal compacted to only
+// the live records.
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+)
+
+// Journal operation codes.
+const (
+	jopJob   = "job"
+	jopDone  = "done"
+	jopQueue = "queue"
+	jopAck   = "ack"
+)
+
+// journalRecord is one journal line.
+type journalRecord struct {
+	Op       string              `json:"op"`
+	JobID    string              `json:"job_id,omitempty"`
+	Owner    string              `json:"owner,omitempty"`
+	Price    float64             `json:"price,omitempty"`
+	Contract *qos.Contract       `json:"contract,omitempty"`
+	Settle   *protocol.SettleReq `json:"settle,omitempty"`
+}
+
+// journal is an append-only JSONL file. A nil *journal is a no-op sink,
+// so callers need no durability conditionals.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal reads the existing journal (tolerating a torn tail, which
+// is truncated away) and opens it for appending.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, nil, fmt.Errorf("daemon: journal dir: %w", err)
+	}
+	var recs []journalRecord
+	if blob, err := os.ReadFile(path); err == nil {
+		valid := 0
+		for off := 0; off < len(blob); {
+			nl := bytes.IndexByte(blob[off:], '\n')
+			end := len(blob)
+			if nl >= 0 {
+				end = off + nl
+			}
+			line := bytes.TrimSpace(blob[off:end])
+			if len(line) > 0 {
+				var rec journalRecord
+				if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" {
+					break // torn tail: keep the intact prefix only
+				}
+				recs = append(recs, rec)
+			}
+			if nl < 0 {
+				valid = len(blob)
+				break
+			}
+			off = end + 1
+			valid = off
+		}
+		if valid < len(blob) {
+			log.Printf("daemon: journal %s: dropping %d bytes of torn tail", path, len(blob)-valid)
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, nil, fmt.Errorf("daemon: truncate torn journal: %w", err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("daemon: read journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("daemon: open journal: %w", err)
+	}
+	return &journal{f: f, path: path}, recs, nil
+}
+
+// append writes one record; best effort (an unwritable journal degrades
+// to in-memory operation rather than failing the job path).
+func (j *journal) append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		log.Printf("daemon: journal marshal: %v", err)
+		return
+	}
+	if _, err := j.f.Write(append(blob, '\n')); err != nil {
+		log.Printf("daemon: journal append: %v", err)
+	}
+}
+
+// rewrite replaces the journal contents with recs, atomically (temp file
+// + rename), and reopens for appending — compaction after recovery or at
+// shutdown.
+func (j *journal) rewrite(recs []journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		blob, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("daemon: journal marshal: %w", err)
+		}
+		buf.Write(blob)
+		buf.WriteByte('\n')
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("daemon: journal temp: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("daemon: journal write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("daemon: journal sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("daemon: journal close: %w", err)
+	}
+	if err := os.Rename(name, j.path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("daemon: journal rename: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		j.f = nil
+		return fmt.Errorf("daemon: journal reopen: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// close flushes and closes the file.
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		_ = j.f.Sync()
+		_ = j.f.Close()
+		j.f = nil
+	}
+}
+
+// recoveredState is the live state distilled from a journal replay.
+type recoveredState struct {
+	// pending jobs were admitted but never reached a terminal record.
+	pending map[string]journalRecord
+	// queued settlements await Central Server acknowledgement.
+	queued []protocol.SettleReq
+}
+
+// reduce folds a record stream into the live state.
+func reduce(recs []journalRecord) recoveredState {
+	st := recoveredState{pending: map[string]journalRecord{}}
+	queued := map[string]protocol.SettleReq{}
+	var order []string
+	for _, rec := range recs {
+		switch rec.Op {
+		case jopJob:
+			if rec.Contract != nil {
+				st.pending[rec.JobID] = rec
+			}
+		case jopDone:
+			delete(st.pending, rec.JobID)
+		case jopQueue:
+			if rec.Settle != nil {
+				delete(st.pending, rec.Settle.JobID)
+				if _, dup := queued[rec.Settle.JobID]; !dup {
+					order = append(order, rec.Settle.JobID)
+				}
+				queued[rec.Settle.JobID] = *rec.Settle
+			}
+		case jopAck:
+			if _, ok := queued[rec.JobID]; ok {
+				delete(queued, rec.JobID)
+			}
+		}
+	}
+	for _, id := range order {
+		if req, ok := queued[id]; ok {
+			st.queued = append(st.queued, req)
+		}
+	}
+	return st
+}
+
+// liveRecords renders the state back into a compact record stream.
+func (st recoveredState) liveRecords() []journalRecord {
+	var out []journalRecord
+	ids := make([]string, 0, len(st.pending))
+	for id := range st.pending {
+		ids = append(ids, id)
+	}
+	// Deterministic order keeps compacted journals reproducible.
+	for i := 0; i < len(ids); i++ {
+		for k := i + 1; k < len(ids); k++ {
+			if ids[k] < ids[i] {
+				ids[i], ids[k] = ids[k], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		rec := st.pending[id]
+		out = append(out, rec)
+	}
+	for i := range st.queued {
+		req := st.queued[i]
+		out = append(out, journalRecord{Op: jopQueue, Settle: &req})
+	}
+	return out
+}

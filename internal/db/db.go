@@ -5,10 +5,14 @@
 // which it queries to decide whether to accept a new job; and the
 // contract history of §5.2.1 feeds the history-aware bid generators.
 //
-// The store is an in-memory, mutex-guarded set of tables with optional
-// JSON snapshot persistence — all the durability the 2004 prototype
-// needed, with none of the external dependencies this reproduction
-// forbids.
+// The store is an in-memory, mutex-guarded set of tables. Opened with
+// Open, every mutation is also appended to a write-ahead log and
+// periodically folded into an atomic snapshot (see wal.go), so a crashed
+// Central Server recovers its accounts, job records, and contract
+// history — the durability the paper's contractually binding payoffs
+// (§3, §5.2.1) demand, with none of the external dependencies this
+// reproduction forbids. New and Load remain for ephemeral
+// (simulation/test) databases.
 package db
 
 import (
@@ -55,37 +59,86 @@ type UserRecord struct {
 	HomeCluster string `json:"home_cluster,omitempty"`
 }
 
-// snapshot is the serialized form of the whole database.
+// snapshot is the serialized form of the whole database. Seq is the
+// WAL sequence number the snapshot covers; replay skips records at or
+// below it.
 type snapshot struct {
+	Seq     uint64                `json:"seq,omitempty"`
 	Jobs    map[string]JobRecord  `json:"jobs"`
 	Users   map[string]UserRecord `json:"users"`
 	Credits map[string]float64    `json:"credits"`
 	History []ContractRecord      `json:"history"`
+	// The accounting tables of §5.5: SU quotas per user, Dollar/SU
+	// revenue per server, cumulative spend per user (§5.5.4 fair usage),
+	// and the set of settled job IDs that makes settlement idempotent
+	// under outbox redelivery.
+	Quotas  map[string]float64 `json:"quotas,omitempty"`
+	Revenue map[string]float64 `json:"revenue,omitempty"`
+	Spend   map[string]float64 `json:"spend,omitempty"`
+	Settled map[string]bool    `json:"settled,omitempty"`
 }
 
-// DB is a concurrent in-memory database with optional file persistence.
+// initMaps replaces nil tables (absent in older snapshots) with empty
+// ones.
+func initMaps(s *snapshot) {
+	if s.Jobs == nil {
+		s.Jobs = map[string]JobRecord{}
+	}
+	if s.Users == nil {
+		s.Users = map[string]UserRecord{}
+	}
+	if s.Credits == nil {
+		s.Credits = map[string]float64{}
+	}
+	if s.Quotas == nil {
+		s.Quotas = map[string]float64{}
+	}
+	if s.Revenue == nil {
+		s.Revenue = map[string]float64{}
+	}
+	if s.Spend == nil {
+		s.Spend = map[string]float64{}
+	}
+	if s.Settled == nil {
+		s.Settled = map[string]bool{}
+	}
+}
+
+// DB is a concurrent in-memory database with optional WAL+snapshot
+// persistence (Open) or one-shot JSON snapshots (Save/Load).
 type DB struct {
 	mu   sync.RWMutex
 	data snapshot
+
+	// Durability state (nil/empty on an ephemeral database).
+	stateDir string
+	wal      *walWriter
+	seq      uint64
+	batch    *[]walRecord
 }
 
 // ErrNotFound is returned when a row does not exist.
 var ErrNotFound = errors.New("db: not found")
 
-// New returns an empty database.
+// New returns an empty ephemeral database.
 func New() *DB {
-	return &DB{data: snapshot{
-		Jobs:    map[string]JobRecord{},
-		Users:   map[string]UserRecord{},
-		Credits: map[string]float64{},
-	}}
+	var s snapshot
+	initMaps(&s)
+	return &DB{data: s}
+}
+
+// Durable reports whether mutations are written ahead to disk.
+func (d *DB) Durable() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.wal != nil
 }
 
 // PutJob inserts or replaces a job row.
 func (d *DB) PutJob(r JobRecord) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.data.Jobs[r.ID] = r
+	d.applyLocked(walRecord{Op: opPutJob, Job: &r})
 }
 
 // GetJob fetches a job row.
@@ -108,7 +161,7 @@ func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	fn(&r)
-	d.data.Jobs[id] = r
+	d.applyLocked(walRecord{Op: opPutJob, Job: &r})
 	return nil
 }
 
@@ -136,7 +189,7 @@ func (d *DB) ListJobs(match func(JobRecord) bool) []JobRecord {
 func (d *DB) PutUser(r UserRecord) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.data.Users[r.Name] = r
+	d.applyLocked(walRecord{Op: opPutUser, User: &r})
 }
 
 // GetUser fetches a user profile.
@@ -163,7 +216,7 @@ func (d *DB) Credits(cluster string) float64 {
 func (d *DB) AddCredits(cluster string, delta float64) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.data.Credits[cluster] += delta
+	d.applyLocked(walRecord{Op: opAddCredits, Key: cluster, Amount: delta})
 	return d.data.Credits[cluster]
 }
 
@@ -177,8 +230,7 @@ func (d *DB) TransferCredits(from, to string, amount float64) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.data.Credits[from] -= amount
-	d.data.Credits[to] += amount
+	d.applyLocked(walRecord{Op: opTransfer, Key: from, To: to, Amount: amount})
 	return nil
 }
 
@@ -194,11 +246,82 @@ func (d *DB) TotalCredits() float64 {
 	return sum
 }
 
+// Quota returns a user's remaining Service-Units (§5.5.2).
+func (d *DB) Quota(user string) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.data.Quotas[user]
+}
+
+// AddQuota adjusts a user's SU allocation by delta (negative to draw
+// down) and returns the new balance.
+func (d *DB) AddQuota(user string, delta float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.applyLocked(walRecord{Op: opAddQuota, Key: user, Amount: delta})
+	return d.data.Quotas[user]
+}
+
+// Revenue returns a server's cumulative income (Dollars/SU modes).
+func (d *DB) Revenue(server string) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.data.Revenue[server]
+}
+
+// AddRevenue books income for a server.
+func (d *DB) AddRevenue(server string, amount float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.applyLocked(walRecord{Op: opAddRevenue, Key: server, Amount: amount})
+}
+
+// Spend returns a user's cumulative payments (§5.5.4 fair usage).
+func (d *DB) Spend(user string) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.data.Spend[user]
+}
+
+// AddSpend accumulates a user's payments.
+func (d *DB) AddSpend(user string, amount float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.applyLocked(walRecord{Op: opAddSpend, Key: user, Amount: amount})
+}
+
+// Settled reports whether a job's settlement has already been applied.
+func (d *DB) Settled(jobID string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.data.Settled[jobID]
+}
+
+// MarkSettled records a job ID as settled; the second and later calls
+// return false. This is the dedupe that makes settlement application
+// idempotent under daemon outbox redelivery.
+func (d *DB) MarkSettled(jobID string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.data.Settled[jobID] {
+		return false
+	}
+	d.applyLocked(walRecord{Op: opMarkSettled, JobID: jobID})
+	return true
+}
+
+// SettledCount returns how many distinct jobs have settled.
+func (d *DB) SettledCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data.Settled)
+}
+
 // AppendContract records a settled contract in the market history.
 func (d *DB) AppendContract(r ContractRecord) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.data.History = append(d.data.History, r)
+	d.applyLocked(walRecord{Op: opContract, Contract: &r})
 }
 
 // RecentContracts returns up to limit settled contracts matching the
@@ -223,22 +346,18 @@ func (d *DB) HistoryLen() int {
 	return len(d.data.History)
 }
 
-// Save writes a JSON snapshot to path atomically (write temp + rename).
+// Save writes a JSON snapshot to path atomically (write temp + rename in
+// the same directory). It is the one-shot persistence path for
+// ephemeral databases; durable ones use Compact.
 func (d *DB) Save(path string) error {
-	d.mu.RLock()
+	d.mu.Lock()
+	d.data.Seq = d.seq
 	blob, err := json.MarshalIndent(d.data, "", "  ")
-	d.mu.RUnlock()
+	d.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("db: marshal snapshot: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o600); err != nil {
-		return fmt.Errorf("db: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("db: rename snapshot: %w", err)
-	}
-	return nil
+	return atomicWrite(path, blob)
 }
 
 // Load replaces the database contents with a snapshot from path.
@@ -251,14 +370,6 @@ func Load(path string) (*DB, error) {
 	if err := json.Unmarshal(blob, &s); err != nil {
 		return nil, fmt.Errorf("db: decode snapshot: %w", err)
 	}
-	if s.Jobs == nil {
-		s.Jobs = map[string]JobRecord{}
-	}
-	if s.Users == nil {
-		s.Users = map[string]UserRecord{}
-	}
-	if s.Credits == nil {
-		s.Credits = map[string]float64{}
-	}
-	return &DB{data: s}, nil
+	initMaps(&s)
+	return &DB{data: s, seq: s.Seq}, nil
 }

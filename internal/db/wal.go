@@ -1,0 +1,358 @@
+// Write-ahead logging and crash recovery for the database.
+//
+// Durability layout (one directory per component instance):
+//
+//	<state-dir>/snapshot.json  — atomic JSON snapshot of every table
+//	<state-dir>/wal.jsonl      — append-only JSONL of mutations since
+//	                             the snapshot
+//
+// Every mutation is applied to the in-memory tables and appended to the
+// WAL as one JSON line carrying a monotonically increasing sequence
+// number. Recovery loads the snapshot (if any) and replays WAL records
+// whose sequence number exceeds the snapshot's — so a crash between
+// writing the snapshot and truncating the WAL can never double-apply a
+// record. Replay stops at the first corrupt line (a torn tail from a
+// crash mid-append) and truncates the file back to the last intact
+// record before appending resumes.
+//
+// Compaction folds the WAL into a fresh snapshot: the snapshot is
+// written to a temporary file in the same directory and renamed over the
+// target (atomic on POSIX), and only then is the WAL truncated.
+package db
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+// WAL operation codes.
+const (
+	opPutJob      = "put_job"
+	opPutUser     = "put_user"
+	opAddCredits  = "add_credits"
+	opTransfer    = "transfer"
+	opContract    = "contract"
+	opAddQuota    = "add_quota"
+	opAddRevenue  = "add_revenue"
+	opAddSpend    = "add_spend"
+	opMarkSettled = "settled"
+	opBatch       = "batch"
+)
+
+// walRecord is one WAL line: a single mutation, or a batch of mutations
+// that must apply atomically (all-or-nothing on replay).
+type walRecord struct {
+	Seq      uint64          `json:"seq,omitempty"`
+	Op       string          `json:"op"`
+	Job      *JobRecord      `json:"job,omitempty"`
+	User     *UserRecord     `json:"user,omitempty"`
+	Contract *ContractRecord `json:"contract,omitempty"`
+	// Key names the account (cluster, user, or server) an amount applies
+	// to; To is the receiving cluster of a transfer.
+	Key    string      `json:"key,omitempty"`
+	To     string      `json:"to,omitempty"`
+	Amount float64     `json:"amount,omitempty"`
+	JobID  string      `json:"job_id,omitempty"`
+	Recs   []walRecord `json:"recs,omitempty"`
+}
+
+// walWriter appends records to the log file.
+type walWriter struct {
+	f    *os.File
+	path string
+}
+
+func openWALWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("db: open wal: %w", err)
+	}
+	return &walWriter{f: f, path: path}, nil
+}
+
+func (w *walWriter) append(rec walRecord) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("db: marshal wal record: %w", err)
+	}
+	blob = append(blob, '\n')
+	if _, err := w.f.Write(blob); err != nil {
+		return fmt.Errorf("db: append wal: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the log after a successful snapshot.
+func (w *walWriter) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("db: truncate wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("db: rewind wal: %w", err)
+	}
+	return nil
+}
+
+func (w *walWriter) sync() error  { return w.f.Sync() }
+func (w *walWriter) close() error { return w.f.Close() }
+
+// snapshotFile and walFile name the two durable files in a state dir.
+func snapshotFile(stateDir string) string { return filepath.Join(stateDir, "snapshot.json") }
+func walFile(stateDir string) string      { return filepath.Join(stateDir, "wal.jsonl") }
+
+// Open loads (or creates) a durable database rooted at stateDir:
+// snapshot first, then WAL replay, then the WAL is reopened for
+// appending. It is the recovery entry point for every component that
+// owns authoritative state.
+func Open(stateDir string) (*DB, error) {
+	if err := os.MkdirAll(stateDir, 0o700); err != nil {
+		return nil, fmt.Errorf("db: state dir: %w", err)
+	}
+	d := New()
+	d.stateDir = stateDir
+	if blob, err := os.ReadFile(snapshotFile(stateDir)); err == nil {
+		var s snapshot
+		if err := json.Unmarshal(blob, &s); err != nil {
+			return nil, fmt.Errorf("db: decode snapshot: %w", err)
+		}
+		initMaps(&s)
+		d.data = s
+		d.seq = s.Seq
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("db: read snapshot: %w", err)
+	}
+	if err := d.replayWAL(walFile(stateDir)); err != nil {
+		return nil, err
+	}
+	w, err := openWALWriter(walFile(stateDir))
+	if err != nil {
+		return nil, err
+	}
+	d.wal = w
+	return d, nil
+}
+
+// replayWAL applies every intact post-snapshot record and truncates the
+// file back to the last intact line, so a torn tail from a crash
+// mid-append is dropped rather than wedging recovery.
+func (d *DB) replayWAL(path string) error {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("db: read wal: %w", err)
+	}
+	valid := 0
+	for off := 0; off < len(blob); {
+		nl := bytes.IndexByte(blob[off:], '\n')
+		end := len(blob)
+		if nl >= 0 {
+			end = off + nl
+		}
+		line := bytes.TrimSpace(blob[off:end])
+		if len(line) > 0 {
+			var rec walRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" {
+				break // corrupt tail: replay stops at the first bad line
+			}
+			if rec.Seq > d.seq {
+				d.applyMemLocked(rec)
+				d.seq = rec.Seq
+			}
+		}
+		if nl < 0 {
+			// A final line without a newline parsed cleanly — keep it.
+			valid = len(blob)
+			break
+		}
+		off = end + 1
+		valid = off
+	}
+	if valid < len(blob) {
+		log.Printf("db: wal %s: dropping %d bytes of torn tail", path, len(blob)-valid)
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return fmt.Errorf("db: truncate torn wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyMemLocked applies a record to the in-memory tables only; it is
+// the single definition of each operation's semantics, shared by live
+// mutation and replay. Caller holds d.mu (or exclusively owns d).
+func (d *DB) applyMemLocked(rec walRecord) {
+	switch rec.Op {
+	case opPutJob:
+		if rec.Job != nil {
+			d.data.Jobs[rec.Job.ID] = *rec.Job
+		}
+	case opPutUser:
+		if rec.User != nil {
+			d.data.Users[rec.User.Name] = *rec.User
+		}
+	case opAddCredits:
+		d.data.Credits[rec.Key] += rec.Amount
+	case opTransfer:
+		d.data.Credits[rec.Key] -= rec.Amount
+		d.data.Credits[rec.To] += rec.Amount
+	case opContract:
+		if rec.Contract != nil {
+			d.data.History = append(d.data.History, *rec.Contract)
+		}
+	case opAddQuota:
+		d.data.Quotas[rec.Key] += rec.Amount
+	case opAddRevenue:
+		d.data.Revenue[rec.Key] += rec.Amount
+	case opAddSpend:
+		d.data.Spend[rec.Key] += rec.Amount
+	case opMarkSettled:
+		d.data.Settled[rec.JobID] = true
+	case opBatch:
+		for _, sub := range rec.Recs {
+			d.applyMemLocked(sub)
+		}
+	}
+}
+
+// applyLocked applies a mutation to memory and logs it durably (when the
+// database was opened with Open; a plain New/Load database skips the
+// log). Caller holds d.mu.
+func (d *DB) applyLocked(rec walRecord) {
+	d.applyMemLocked(rec)
+	d.logLocked(rec)
+}
+
+// logLocked appends one record to the WAL, or to the open batch buffer.
+func (d *DB) logLocked(rec walRecord) {
+	if d.wal == nil {
+		return
+	}
+	if d.batch != nil {
+		*d.batch = append(*d.batch, rec)
+		return
+	}
+	d.seq++
+	rec.Seq = d.seq
+	if err := d.wal.append(rec); err != nil {
+		log.Printf("db: wal append failed: %v", err)
+	}
+}
+
+// BeginBatch starts buffering WAL records so a multi-mutation operation
+// (a settlement: transfer + settled-mark + contract row) lands as one
+// atomic WAL line — after a crash, either all of it replays or none.
+// Mutations still apply to memory immediately. Concurrent mutations from
+// other goroutines that slip into the window are flushed with the batch,
+// which only delays their durability to the commit. No-op on a
+// non-durable database.
+func (d *DB) BeginBatch() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil || d.batch != nil {
+		return
+	}
+	buf := make([]walRecord, 0, 4)
+	d.batch = &buf
+}
+
+// CommitBatch writes the buffered records as a single atomic WAL line.
+// An empty batch (the operation failed before mutating anything) writes
+// nothing.
+func (d *DB) CommitBatch() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.batch == nil {
+		return
+	}
+	recs := *d.batch
+	d.batch = nil
+	if len(recs) == 0 || d.wal == nil {
+		return
+	}
+	d.seq++
+	if err := d.wal.append(walRecord{Seq: d.seq, Op: opBatch, Recs: recs}); err != nil {
+		log.Printf("db: wal batch append failed: %v", err)
+	}
+}
+
+// Compact folds the WAL into a fresh snapshot: atomic snapshot write
+// (temp file in the same directory, then rename), fsync'd WAL, then WAL
+// truncation. Safe to call at any time; a crash at any point recovers to
+// the same state.
+func (d *DB) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stateDir == "" {
+		return fmt.Errorf("db: compact: not a durable database")
+	}
+	d.data.Seq = d.seq
+	blob, err := json.MarshalIndent(d.data, "", "  ")
+	if err != nil {
+		return fmt.Errorf("db: marshal snapshot: %w", err)
+	}
+	if err := atomicWrite(snapshotFile(d.stateDir), blob); err != nil {
+		return err
+	}
+	if d.wal != nil {
+		if err := d.wal.reset(); err != nil {
+			return err
+		}
+		if err := d.wal.sync(); err != nil {
+			return fmt.Errorf("db: sync wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the WAL. The database remains readable but
+// further mutations are memory-only; reopen with Open to resume.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	if err := d.wal.sync(); err != nil {
+		d.wal.close()
+		d.wal = nil
+		return fmt.Errorf("db: sync wal: %w", err)
+	}
+	err := d.wal.close()
+	d.wal = nil
+	return err
+}
+
+// atomicWrite writes blob to path via a temp file in the same directory
+// and a rename, so a crash mid-save can never leave a torn target.
+func atomicWrite(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("db: temp snapshot: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("db: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("db: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("db: close snapshot: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("db: rename snapshot: %w", err)
+	}
+	return nil
+}

@@ -8,14 +8,17 @@ package grid
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
 	"faucets/internal/accounting"
 	"faucets/internal/appspector"
 	"faucets/internal/bidding"
 	"faucets/internal/central"
+	"faucets/internal/chaos"
 	"faucets/internal/client"
 	"faucets/internal/daemon"
+	"faucets/internal/db"
 	"faucets/internal/machine"
 	"faucets/internal/protocol"
 	"faucets/internal/scheduler"
@@ -54,6 +57,16 @@ type Options struct {
 	RPCTimeout time.Duration
 	// SettleRetry is the daemons' settlement-outbox redelivery cadence.
 	SettleRetry time.Duration
+	// ReRegister is the daemons' Central Server heartbeat cadence, so a
+	// restarted FS rebuilds its directory quickly in tests.
+	ReRegister time.Duration
+	// StateDir makes the grid durable: the Central Server journals under
+	// <StateDir>/central and each daemon under <StateDir>/fd-<name>, and
+	// RestartCentral/RestartDaemon recover from those directories.
+	StateDir string
+	// Chaos, when set, wraps every component listener so all grid
+	// traffic passes through the fault injector.
+	Chaos *chaos.Injector
 }
 
 // Grid is a running loopback Faucets deployment.
@@ -63,6 +76,12 @@ type Grid struct {
 	AppSpector     *appspector.Server
 	AppSpectorAddr string
 	Daemons        []*daemon.Daemon
+
+	// Boot parameters, kept so Restart* can rebuild a component on its
+	// original address from its state directory.
+	opts        Options
+	clusters    []ClusterSpec
+	daemonAddrs []string
 }
 
 // Start boots the system: FS first, then AS, then every FD (which
@@ -74,23 +93,18 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 	if opts.TimeScale <= 0 {
 		opts.TimeScale = 1000
 	}
-	g := &Grid{}
+	g := &Grid{opts: opts, clusters: clusters}
 
-	g.Central = central.New(opts.Mode)
-	for user, pw := range opts.Users {
-		if err := g.Central.Auth.AddUser(user, pw, opts.Homes[user]); err != nil {
-			return nil, err
-		}
+	fs, err := g.newCentral()
+	if err != nil {
+		return nil, err
 	}
-	fsl, err := net.Listen("tcp", "127.0.0.1:0")
+	g.Central = fs
+	fsl, err := g.listen("")
 	if err != nil {
 		return nil, err
 	}
 	g.CentralAddr = fsl.Addr().String()
-	if opts.RPCTimeout > 0 {
-		g.Central.PollTimeout = opts.RPCTimeout
-		g.Central.RPCTimeout = opts.RPCTimeout
-	}
 	go g.Central.Serve(fsl)
 	if opts.PollInterval > 0 {
 		g.Central.StartPolling(opts.PollInterval)
@@ -99,7 +113,7 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 	g.AppSpector = appspector.NewServer(func(token string) (string, error) {
 		return g.Central.Auth.Verify(token)
 	})
-	asl, err := net.Listen("tcp", "127.0.0.1:0")
+	asl, err := g.listen("")
 	if err != nil {
 		g.Close()
 		return nil, err
@@ -107,39 +121,158 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 	g.AppSpectorAddr = asl.Addr().String()
 	go g.AppSpector.Serve(asl)
 
-	for _, cl := range clusters {
-		factory := cl.NewScheduler
-		if factory == nil {
-			factory = func(sp machine.Spec, c scheduler.Config) scheduler.Scheduler {
-				return scheduler.NewEquipartition(sp, c)
-			}
-		}
-		d, err := daemon.New(daemon.Config{
-			Info:           protocol.ServerInfo{Spec: cl.Spec, Apps: cl.Apps, Home: cl.Home},
-			Scheduler:      factory(cl.Spec, opts.SchedCfg),
-			Bidder:         cl.Bidder,
-			CentralAddr:    g.CentralAddr,
-			AppSpectorAddr: g.AppSpectorAddr,
-			TimeScale:      opts.TimeScale,
-			RPCTimeout:     opts.RPCTimeout,
-			SettleRetry:    opts.SettleRetry,
-		})
+	for i := range clusters {
+		d, addr, err := g.startDaemon(i, "")
 		if err != nil {
-			g.Close()
-			return nil, err
-		}
-		dl, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			g.Close()
-			return nil, err
-		}
-		if err := d.Start(dl); err != nil {
 			g.Close()
 			return nil, err
 		}
 		g.Daemons = append(g.Daemons, d)
+		g.daemonAddrs = append(g.daemonAddrs, addr)
 	}
 	return g, nil
+}
+
+// listen opens a loopback listener (addr "" picks a free port; a
+// concrete addr rebinds a restarting component's old port, retrying
+// briefly while the dying listener's socket drains). Wrapped with the
+// fault injector when chaos is on.
+func (g *Grid) listen(addr string) (net.Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var l net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("grid: relisten %s: %w", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g.opts.Chaos != nil {
+		l = g.opts.Chaos.WrapListener(l)
+	}
+	return l, nil
+}
+
+// newCentral builds a configured Central Server; with a StateDir it
+// recovers from <StateDir>/central (the crash-recovery path).
+func (g *Grid) newCentral() (*central.Server, error) {
+	var fs *central.Server
+	if g.opts.StateDir != "" {
+		store, err := db.Open(filepath.Join(g.opts.StateDir, "central"))
+		if err != nil {
+			return nil, err
+		}
+		fs = central.NewWithDB(g.opts.Mode, store)
+	} else {
+		fs = central.New(g.opts.Mode)
+	}
+	for user, pw := range g.opts.Users {
+		if err := fs.Auth.AddUser(user, pw, g.opts.Homes[user]); err != nil {
+			return nil, err
+		}
+	}
+	if g.opts.RPCTimeout > 0 {
+		fs.PollTimeout = g.opts.RPCTimeout
+		fs.RPCTimeout = g.opts.RPCTimeout
+	}
+	return fs, nil
+}
+
+// startDaemon builds and starts the i-th cluster's daemon; addr "" picks
+// a fresh port, otherwise the daemon resumes on its previous address
+// (and, with a StateDir, from its journal).
+func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
+	cl := g.clusters[i]
+	factory := cl.NewScheduler
+	if factory == nil {
+		factory = func(sp machine.Spec, c scheduler.Config) scheduler.Scheduler {
+			return scheduler.NewEquipartition(sp, c)
+		}
+	}
+	stateDir := ""
+	if g.opts.StateDir != "" {
+		stateDir = filepath.Join(g.opts.StateDir, "fd-"+cl.Spec.Name)
+	}
+	d, err := daemon.New(daemon.Config{
+		Info:           protocol.ServerInfo{Spec: cl.Spec, Apps: cl.Apps, Home: cl.Home},
+		Scheduler:      factory(cl.Spec, g.opts.SchedCfg),
+		Bidder:         cl.Bidder,
+		CentralAddr:    g.CentralAddr,
+		AppSpectorAddr: g.AppSpectorAddr,
+		TimeScale:      g.opts.TimeScale,
+		RPCTimeout:     g.opts.RPCTimeout,
+		SettleRetry:    g.opts.SettleRetry,
+		ReRegister:     g.opts.ReRegister,
+		StateDir:       stateDir,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	dl, err := g.listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := d.Start(dl); err != nil {
+		dl.Close()
+		return nil, "", err
+	}
+	return d, dl.Addr().String(), nil
+}
+
+// RestartCentral crash-stops the Central Server and boots a replacement
+// on the same address from the same state directory: the database
+// recovers via snapshot + WAL replay, and daemons repopulate the
+// directory through their re-register heartbeat. Requires a StateDir
+// (otherwise the replacement would forget every account).
+func (g *Grid) RestartCentral() error {
+	if g.opts.StateDir == "" {
+		return fmt.Errorf("grid: RestartCentral needs Options.StateDir")
+	}
+	g.Central.Close()
+	if err := g.Central.DB.Close(); err != nil {
+		return err
+	}
+	fs, err := g.newCentral()
+	if err != nil {
+		return err
+	}
+	l, err := g.listen(g.CentralAddr)
+	if err != nil {
+		return err
+	}
+	g.Central = fs
+	go fs.Serve(l)
+	if g.opts.PollInterval > 0 {
+		fs.StartPolling(g.opts.PollInterval)
+	}
+	return nil
+}
+
+// RestartDaemon crash-stops the named daemon and boots a replacement on
+// the same address; with a StateDir the replacement recovers its jobs
+// and settlement outbox from the journal.
+func (g *Grid) RestartDaemon(name string) error {
+	for i, d := range g.Daemons {
+		if d.Name() != name {
+			continue
+		}
+		d.Close()
+		nd, addr, err := g.startDaemon(i, g.daemonAddrs[i])
+		if err != nil {
+			return err
+		}
+		g.Daemons[i] = nd
+		g.daemonAddrs[i] = addr
+		return nil
+	}
+	return fmt.Errorf("grid: no daemon named %q", name)
 }
 
 // Login opens an authenticated client session against this grid.

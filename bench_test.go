@@ -26,6 +26,7 @@ import (
 	"faucets/internal/qos"
 	"faucets/internal/scheduler"
 	"faucets/internal/sim"
+	"faucets/internal/telemetry"
 	"faucets/internal/workload"
 
 	"faucets/internal/job"
@@ -287,5 +288,34 @@ func BenchmarkLiveBidRoundTrip(b *testing.B) {
 		if err := protocol.Call(conn, protocol.TypeBidReq, protocol.BidReq{User: "u", Contract: c}, protocol.TypeBidOK, &reply); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryHotPath measures the instrumented fast path every
+// daemon tick and RPC dispatch pays: a counter increment, a gauge store,
+// and a histogram observation on pre-resolved instruments. All three
+// must be allocation-free — scrapes format text, updates never do.
+func BenchmarkTelemetryHotPath(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("faucets_bench_ops_total", "bench")
+	gau := reg.Gauge("faucets_bench_depth", "bench")
+	his := reg.Histogram("faucets_bench_latency_seconds", "bench", nil)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+		gau.Set(float64(i))
+		his.Observe(float64(i%1000) * 0.0001)
+	}
+}
+
+// BenchmarkTelemetryTraceRecord measures one span append on a warm job
+// trace — the per-lifecycle-event cost inside the daemons.
+func BenchmarkTelemetryTraceRecord(b *testing.B) {
+	tr := telemetry.NewTracer(8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record("job-bench", telemetry.SpanStart, "")
 	}
 }

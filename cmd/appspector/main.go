@@ -24,6 +24,7 @@ import (
 
 	"faucets/internal/appspector"
 	"faucets/internal/protocol"
+	"faucets/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	httpListen := flag.String("http", "", "optional HTTP gateway address (e.g. :9301)")
 	centralAddr := flag.String("central", "", "Central Server for watch-token verification (empty = open access)")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each token-verification round trip")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics (empty = off)")
 	flag.Parse()
 
 	var verify appspector.VerifyFunc
@@ -55,6 +57,14 @@ func main() {
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *metricsAddr != "" {
+		ml, err := telemetry.Serve(*metricsAddr, srv.Metrics, nil)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer ml.Close()
+		log.Printf("appspector: metrics on http://%s/metrics", ml.Addr())
 	}
 	if *httpListen != "" {
 		go func() {

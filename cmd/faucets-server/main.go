@@ -23,6 +23,7 @@ import (
 	"faucets/internal/accounting"
 	"faucets/internal/central"
 	"faucets/internal/db"
+	"faucets/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each federation RPC round trip")
 	pollTimeout := flag.Duration("poll-timeout", 3*time.Second, "deadline for each daemon liveness probe")
 	pollWidth := flag.Int("poll-concurrency", 32, "how many daemons are probed in parallel")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics (empty = off)")
 	flag.Parse()
 
 	var m accounting.Mode
@@ -99,6 +101,14 @@ func main() {
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *metricsAddr != "" {
+		ml, err := telemetry.Serve(*metricsAddr, srv.Metrics, nil)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer ml.Close()
+		log.Printf("faucets-server: metrics on http://%s/metrics", ml.Addr())
 	}
 	if *poll > 0 {
 		srv.StartPolling(*poll)

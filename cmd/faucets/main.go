@@ -208,9 +208,11 @@ func cmdSubmit(cl *client.Client, args []string) {
 	fmt.Printf("job %s started\n", p.JobID)
 
 	if *watch {
-		if err := cl.Watch(p.JobID, true, printTelemetry); err != nil {
+		var sum watchSummary
+		if err := cl.Watch(p.JobID, true, sum.observe); err != nil {
 			log.Fatalf("watch: %v", err)
 		}
+		sum.print()
 	}
 	if *wait {
 		st, err := cl.WaitFinished(p, 24*time.Hour)
@@ -229,9 +231,11 @@ func cmdWatch(cl *client.Client, args []string) {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	jobID := fs.String("job", "", "job-ID to monitor")
 	_ = fs.Parse(args)
-	if err := cl.Watch(*jobID, true, printTelemetry); err != nil {
+	var sum watchSummary
+	if err := cl.Watch(*jobID, true, sum.observe); err != nil {
 		log.Fatalf("watch: %v", err)
 	}
+	sum.print()
 }
 
 // printTelemetry renders one Fig 3-style line: the generic
@@ -244,4 +248,33 @@ func printTelemetry(t protocol.Telemetry) bool {
 	}
 	fmt.Println()
 	return true
+}
+
+// watchSummary accumulates the stream into the generic utilization
+// section of the Fig 3 display, printed once the stream ends.
+type watchSummary struct {
+	samples  int
+	peakPEs  int
+	utilSum  float64
+	lastDone float64
+	state    string
+}
+
+func (s *watchSummary) observe(t protocol.Telemetry) bool {
+	s.samples++
+	if t.PEs > s.peakPEs {
+		s.peakPEs = t.PEs
+	}
+	s.utilSum += t.Util
+	s.lastDone = t.Done
+	s.state = t.State
+	return printTelemetry(t)
+}
+
+func (s *watchSummary) print() {
+	if s.samples == 0 {
+		return
+	}
+	fmt.Printf("utilization: %d samples, peak %d processors, mean utilization %.1f%%, progress %.1f%%, state %s\n",
+		s.samples, s.peakPEs, s.utilSum/float64(s.samples)*100, s.lastDone*100, s.state)
 }

@@ -25,6 +25,7 @@ import (
 	"faucets/internal/machine"
 	"faucets/internal/protocol"
 	"faucets/internal/scheduler"
+	"faucets/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 	reconfig := flag.Float64("reconfig-latency", 5.0, "adaptive-job reconfiguration stall, seconds")
 	lookahead := flag.Float64("lookahead", 3600, "profit scheduler admission lookahead, seconds")
 	preempt := flag.Bool("preempt", false, "profit scheduler: checkpoint low-payoff jobs for high-payoff arrivals (§4.1/§5.5.4)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics, job traces under /trace (empty = off)")
 	flag.Parse()
 
 	spec := machine.Spec{
@@ -94,6 +96,7 @@ func main() {
 			appList = append(appList, a)
 		}
 	}
+	tracer := telemetry.NewTracer(0)
 	d, err := daemon.New(daemon.Config{
 		Info:           protocol.ServerInfo{Spec: spec, Apps: appList, Home: *home},
 		Scheduler:      cm,
@@ -104,6 +107,7 @@ func main() {
 		RPCTimeout:     *rpcTimeout,
 		SettleRetry:    *settleRetry,
 		StateDir:       *stateDir,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatalf("daemon: %v", err)
@@ -111,6 +115,14 @@ func main() {
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *metricsAddr != "" {
+		ml, err := telemetry.Serve(*metricsAddr, d.Metrics(), tracer)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer ml.Close()
+		log.Printf("faucetsd: metrics on http://%s/metrics", ml.Addr())
 	}
 	if err := d.Start(l); err != nil {
 		log.Fatalf("start: %v", err)

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"faucets/internal/protocol"
+	"faucets/internal/telemetry"
 )
 
 // VerifyFunc checks a client token with the Faucets Central Server; nil
@@ -47,16 +48,55 @@ type Server struct {
 
 	// MaxHistory bounds buffered samples per job (oldest dropped).
 	MaxHistory int
+
+	// Metrics is this server's registry, served at -metrics-addr.
+	Metrics *telemetry.Registry
+	met     *asMetrics
+}
+
+// asMetrics holds the AppSpector's pre-resolved instruments.
+type asMetrics struct {
+	samples  *telemetry.Counter // telemetry samples ingested
+	unknown  *telemetry.Counter // samples for unregistered jobs
+	dropped  *telemetry.Counter // fan-out sends dropped on slow watchers
+	watchReq *telemetry.Counter // watch subscriptions served
+	jobs     *telemetry.Gauge   // registered jobs
+	liveJobs *telemetry.Gauge   // jobs still streaming
+	watchers *telemetry.Gauge   // attached live watchers
+	pes      *telemetry.Gauge   // processors allocated across live jobs
+	meanUtil *telemetry.Gauge   // mean utilization across live jobs
+	utilDist *telemetry.Histogram
+}
+
+// utilBuckets spans the [0,1] utilization ratio reported per sample.
+var utilBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+
+func newASMetrics(reg *telemetry.Registry) *asMetrics {
+	return &asMetrics{
+		samples:  reg.Counter("faucets_appspector_samples_total", "Telemetry samples ingested."),
+		unknown:  reg.Counter("faucets_appspector_unknown_job_samples_total", "Samples for jobs never registered."),
+		dropped:  reg.Counter("faucets_appspector_watcher_drops_total", "Fan-out sends dropped because a watcher was slow."),
+		watchReq: reg.Counter("faucets_appspector_watch_requests_total", "Watch subscriptions served."),
+		jobs:     reg.Gauge("faucets_appspector_jobs", "Jobs registered with the monitor."),
+		liveJobs: reg.Gauge("faucets_appspector_live_jobs", "Jobs still streaming telemetry."),
+		watchers: reg.Gauge("faucets_appspector_watchers", "Live watcher subscriptions."),
+		pes:      reg.Gauge("faucets_appspector_allocated_pes", "Processors allocated across live jobs (Fig 3 generic section)."),
+		meanUtil: reg.Gauge("faucets_appspector_mean_utilization", "Mean processor utilization across live jobs (Fig 3 generic section)."),
+		utilDist: reg.Histogram("faucets_appspector_sample_utilization", "Distribution of per-sample processor utilization ratios.", utilBuckets),
+	}
 }
 
 // NewServer returns an AppSpector server; verify may be nil.
 func NewServer(verify VerifyFunc) *Server {
+	reg := telemetry.NewRegistry()
 	return &Server{
 		jobs:       map[string]*jobStream{},
 		verify:     verify,
 		conns:      map[net.Conn]struct{}{},
 		closed:     make(chan struct{}),
 		MaxHistory: 4096,
+		Metrics:    reg,
+		met:        newASMetrics(reg),
 	}
 }
 
@@ -74,6 +114,7 @@ func (s *Server) Register(jobID, owner, server, app string) {
 		owner: owner, server: server, app: app,
 		watchers: map[chan protocol.Telemetry]struct{}{},
 	}
+	s.gaugeLocked()
 }
 
 // Ingest buffers one telemetry sample and fans it out to live watchers.
@@ -83,11 +124,14 @@ func (s *Server) Ingest(t protocol.Telemetry) error {
 	defer s.mu.Unlock()
 	js, ok := s.jobs[t.JobID]
 	if !ok {
+		s.met.unknown.Inc()
 		return fmt.Errorf("%w: %s", ErrUnknownJob, t.JobID)
 	}
 	if js.done {
 		return nil
 	}
+	s.met.samples.Inc()
+	s.met.utilDist.Observe(t.Util)
 	js.history = append(js.history, t)
 	if len(js.history) > s.MaxHistory {
 		js.history = js.history[len(js.history)-s.MaxHistory:]
@@ -96,6 +140,7 @@ func (s *Server) Ingest(t protocol.Telemetry) error {
 		select {
 		case ch <- t:
 		default: // slow watcher: drop rather than block the job
+			s.met.dropped.Inc()
 		}
 	}
 	if terminal(t.State) {
@@ -105,7 +150,56 @@ func (s *Server) Ingest(t protocol.Telemetry) error {
 		}
 		js.watchers = map[chan protocol.Telemetry]struct{}{}
 	}
+	s.gaugeLocked()
 	return nil
+}
+
+// Utilization is the generic section of the Fig 3 display aggregated
+// across the whole monitor: how many jobs are live, how many processors
+// they hold, and their mean utilization — each live job contributing its
+// most recent sample.
+type Utilization struct {
+	Jobs     int     `json:"jobs"`
+	LiveJobs int     `json:"live_jobs"`
+	PEs      int     `json:"pes"`
+	MeanUtil float64 `json:"mean_util"`
+	Watchers int     `json:"watchers"`
+}
+
+// Utilization aggregates the latest telemetry of every live job.
+func (s *Server) Utilization() Utilization {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.utilizationLocked()
+}
+
+func (s *Server) utilizationLocked() Utilization {
+	u := Utilization{Jobs: len(s.jobs)}
+	utilSum := 0.0
+	for _, js := range s.jobs {
+		u.Watchers += len(js.watchers)
+		if js.done || len(js.history) == 0 {
+			continue
+		}
+		last := js.history[len(js.history)-1]
+		u.LiveJobs++
+		u.PEs += last.PEs
+		utilSum += last.Util
+	}
+	if u.LiveJobs > 0 {
+		u.MeanUtil = utilSum / float64(u.LiveJobs)
+	}
+	return u
+}
+
+// gaugeLocked refreshes the aggregate gauges; the caller holds s.mu.
+func (s *Server) gaugeLocked() {
+	u := s.utilizationLocked()
+	s.met.jobs.Set(float64(u.Jobs))
+	s.met.liveJobs.Set(float64(u.LiveJobs))
+	s.met.watchers.Set(float64(u.Watchers))
+	s.met.pes.Set(float64(u.PEs))
+	s.met.meanUtil.Set(u.MeanUtil)
 }
 
 func terminal(state string) bool {
@@ -146,6 +240,7 @@ func (s *Server) subscribe(jobID string, fromStart bool) ([]protocol.Telemetry, 
 	}
 	ch := make(chan protocol.Telemetry, 256)
 	js.watchers[ch] = struct{}{}
+	s.met.watchers.Add(1)
 	return hist, ch, nil
 }
 
@@ -153,7 +248,10 @@ func (s *Server) unsubscribe(jobID string, ch chan protocol.Telemetry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if js, ok := s.jobs[jobID]; ok {
-		delete(js.watchers, ch)
+		if _, present := js.watchers[ch]; present {
+			delete(js.watchers, ch)
+			s.met.watchers.Add(-1)
+		}
 	}
 }
 
@@ -276,6 +374,7 @@ func (s *Server) serveWatch(conn net.Conn, req protocol.WatchReq) {
 			return
 		}
 	}
+	s.met.watchReq.Inc()
 	hist, live, err := s.subscribe(req.JobID, req.FromStart)
 	if err != nil {
 		_ = protocol.WriteError(conn, err.Error())

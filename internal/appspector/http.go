@@ -97,13 +97,19 @@ func (s *Server) HTTPHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		_ = indexTemplate.Execute(w, s.Jobs())
+		_ = indexTemplate.Execute(w, indexData{Util: s.Utilization(), Jobs: s.Jobs()})
 	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		if !auth(w, r) {
 			return
 		}
 		writeJSON(w, s.Jobs())
+	})
+	mux.HandleFunc("GET /utilization", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		writeJSON(w, s.Utilization())
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !auth(w, r) {
@@ -163,13 +169,26 @@ func (s *Server) HTTPHandler() http.Handler {
 	return mux
 }
 
+// indexData feeds the directory template: the monitor-wide generic
+// utilization section above the job table.
+type indexData struct {
+	Util Utilization
+	Jobs []JobMeta
+}
+
 // indexTemplate lists registered jobs with links to their displays.
-var indexTemplate = template.Must(template.New("index").Parse(`<!doctype html>
+var indexTemplate = template.Must(template.New("index").Funcs(template.FuncMap{
+	"mulf": func(a, b float64) float64 { return a * b },
+}).Parse(`<!doctype html>
 <html><head><title>AppSpector</title></head><body>
 <h1>AppSpector — registered jobs</h1>
+<p>{{.Util.LiveJobs}} of {{.Util.Jobs}} jobs live ·
+{{.Util.PEs}} processors allocated ·
+mean utilization {{printf "%.0f%%" (mulf .Util.MeanUtil 100)}} ·
+{{.Util.Watchers}} watchers</p>
 <table border="1" cellpadding="4">
 <tr><th>job</th><th>app</th><th>owner</th><th>server</th><th>state</th><th>samples</th></tr>
-{{range .}}<tr>
+{{range .Jobs}}<tr>
 <td><a href="/jobs/{{.JobID}}/view">{{.JobID}}</a></td>
 <td>{{.App}}</td><td>{{.Owner}}</td><td>{{.Server}}</td>
 <td>{{if .Done}}done{{else}}live{{end}}</td><td>{{.Samples}}</td>

@@ -25,6 +25,7 @@ import (
 	"faucets/internal/db"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
+	"faucets/internal/telemetry"
 	"faucets/internal/weather"
 )
 
@@ -36,11 +37,47 @@ type regEntry struct {
 	dyn      protocol.PollOK
 }
 
+// srvMetrics holds the Central Server's pre-resolved instruments, so
+// hot paths record with plain atomic updates.
+type srvMetrics struct {
+	registrations *telemetry.Counter   // daemon register/refresh calls
+	bidsSolicited *telemetry.Counter   // filtered directory reads (bid solicitations, §5.1)
+	contracts     *telemetry.Counter   // contract rows appended at settlement
+	settled       *telemetry.Counter   // jobs settled (first delivery)
+	settleRetries *telemetry.Counter   // duplicate redeliveries re-acknowledged
+	settleErrors  *telemetry.Counter   // settlements refused
+	pollFanout    *telemetry.Histogram // whole-directory poll refresh latency
+	snapshotLat   *telemetry.Histogram // WAL compaction latency
+	daemonsAlive  *telemetry.Gauge
+	daemonsTotal  *telemetry.Gauge
+}
+
+func newSrvMetrics(reg *telemetry.Registry) *srvMetrics {
+	return &srvMetrics{
+		registrations: reg.Counter("faucets_central_registrations_total", "Daemon directory registrations and heartbeat refreshes."),
+		bidsSolicited: reg.Counter("faucets_central_bid_solicitations_total", "Filtered server-list requests — each is one client soliciting bids (§5.1)."),
+		contracts:     reg.Counter("faucets_central_contracts_awarded_total", "Contract-history rows appended at settlement (§5.2.1)."),
+		settled:       reg.Counter("faucets_central_jobs_settled_total", "Jobs settled exactly once (duplicates excluded)."),
+		settleRetries: reg.Counter("faucets_central_settle_retries_total", "Duplicate settlement redeliveries re-acknowledged without charging."),
+		settleErrors:  reg.Counter("faucets_central_settle_errors_total", "Settlements refused with an error."),
+		pollFanout:    reg.Histogram("faucets_central_poll_fanout_seconds", "Latency of one whole-directory liveness refresh (PollOnce).", nil),
+		snapshotLat:   reg.Histogram("faucets_central_snapshot_seconds", "Latency of one WAL compaction into an atomic snapshot.", nil),
+		daemonsAlive:  reg.Gauge("faucets_central_daemons_alive", "Directory entries currently considered alive."),
+		daemonsTotal:  reg.Gauge("faucets_central_daemons_registered", "Directory entries, alive or not."),
+	}
+}
+
 // Server is the Faucets Central Server.
 type Server struct {
 	Auth *auth.Authenticator
 	DB   *db.DB
 	Acct *accounting.Accountant
+
+	// Metrics is this server's registry, served at -metrics-addr; every
+	// instrument below is registered here.
+	Metrics *telemetry.Registry
+	met     *srvMetrics
+	rpc     *telemetry.RPCMetrics
 
 	mu       sync.Mutex
 	registry map[string]*regEntry
@@ -80,10 +117,14 @@ func New(mode accounting.Mode) *Server {
 // NewWithDB returns a Central Server backed by an existing database —
 // used to resume from a JSON snapshot (db.Load).
 func NewWithDB(mode accounting.Mode, store *db.DB) *Server {
+	reg := telemetry.NewRegistry()
 	return &Server{
 		Auth:      auth.New(24 * time.Hour),
 		DB:        store,
 		Acct:      accounting.New(mode, store),
+		Metrics:   reg,
+		met:       newSrvMetrics(reg),
+		rpc:       telemetry.NewRPCMetrics(reg, "central"),
 		registry:  map[string]*regEntry{},
 		conns:     map[net.Conn]struct{}{},
 		closed:    make(chan struct{}),
@@ -108,7 +149,24 @@ func (s *Server) RegisterDaemon(info protocol.ServerInfo) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.registry[info.Spec.Name] = &regEntry{info: info, lastSeen: time.Now(), alive: true}
+	s.met.registrations.Inc()
+	s.gaugeDirectoryLocked()
 	return nil
+}
+
+// gaugeDirectoryLocked refreshes the directory-size gauges; caller holds
+// s.mu. The alive gauge reflects the state as of the last directory
+// mutation or poll (staleness between events is applied on read paths).
+func (s *Server) gaugeDirectoryLocked() {
+	now := time.Now()
+	alive := 0
+	for _, e := range s.registry {
+		if e.alive && now.Sub(e.lastSeen) <= s.DeadAfter {
+			alive++
+		}
+	}
+	s.met.daemonsAlive.Set(float64(alive))
+	s.met.daemonsTotal.Set(float64(len(s.registry)))
 }
 
 // Deregister removes a daemon from the directory.
@@ -116,6 +174,7 @@ func (s *Server) Deregister(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.registry, name)
+	s.gaugeDirectoryLocked()
 }
 
 // MarkSeen refreshes a daemon's liveness with fresh dynamic state.
@@ -127,6 +186,7 @@ func (s *Server) MarkSeen(name string, dyn protocol.PollOK) {
 		e.alive = true
 		e.dyn = dyn
 	}
+	s.gaugeDirectoryLocked()
 }
 
 // MarkDead flags a daemon as unavailable (poll failure).
@@ -136,6 +196,7 @@ func (s *Server) MarkDead(name string) {
 	if e, ok := s.registry[name]; ok {
 		e.alive = false
 	}
+	s.gaugeDirectoryLocked()
 }
 
 // Servers returns directory entries matching the contract, applying the
@@ -225,6 +286,7 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 	s.settleMu.Lock()
 	defer s.settleMu.Unlock()
 	if s.DB.Settled(req.JobID) {
+		s.met.settleRetries.Inc()
 		return nil // duplicate redelivery: re-acknowledge, apply nothing
 	}
 	if req.HomeCluster == "" {
@@ -233,6 +295,7 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 	s.DB.BeginBatch()
 	defer s.DB.CommitBatch()
 	if err := s.Acct.Settle(req.JobID, req.User, req.HomeCluster, req.Server, req.Price); err != nil {
+		s.met.settleErrors.Inc()
 		return err
 	}
 	s.DB.MarkSettled(req.JobID)
@@ -245,6 +308,8 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 		App: req.App, Server: req.Server, MinPE: req.MinPE, MaxPE: req.MaxPE,
 		Price: req.Price, Multiplier: mult,
 	})
+	s.met.settled.Inc()
+	s.met.contracts.Inc()
 	return nil
 }
 
@@ -272,6 +337,8 @@ func (s *Server) Weather() weather.Report {
 // the whole refresh by at most one timeout instead of stalling the
 // sequential walk for everyone behind it.
 func (s *Server) PollOnce() int {
+	start := time.Now()
+	defer func() { s.met.pollFanout.Observe(time.Since(start).Seconds()) }()
 	s.mu.Lock()
 	targets := make(map[string]string, len(s.registry))
 	for name, e := range s.registry {
@@ -292,14 +359,16 @@ func (s *Server) PollOnce() int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			probe := time.Now()
 			conn, err := s.Dial(addr)
 			if err != nil {
+				s.rpc.ObserveRPC(protocol.TypePollReq, time.Since(probe), err)
 				s.MarkDead(name)
 				return
 			}
 			defer conn.Close()
 			var dyn protocol.PollOK
-			if err := protocol.CallTimeout(conn, timeout, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn); err != nil {
+			if err := protocol.CallTimeoutObs(s.rpc, conn, timeout, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn); err != nil {
 				s.MarkDead(name)
 				return
 			}
@@ -345,17 +414,25 @@ func (s *Server) StartSnapshots(interval time.Duration) {
 		for {
 			select {
 			case <-s.closed:
-				if err := s.DB.Compact(); err != nil {
+				if err := s.compactTimed(); err != nil {
 					log.Printf("central: final snapshot: %v", err)
 				}
 				return
 			case <-ticker.C:
-				if err := s.DB.Compact(); err != nil {
+				if err := s.compactTimed(); err != nil {
 					log.Printf("central: snapshot: %v", err)
 				}
 			}
 		}
 	}()
+}
+
+// compactTimed folds the WAL into a snapshot, recording the latency.
+func (s *Server) compactTimed() error {
+	start := time.Now()
+	err := s.DB.Compact()
+	s.met.snapshotLat.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // Serve accepts client and daemon connections until Close. Transient
@@ -437,15 +514,20 @@ func (s *Server) Close() {
 // errAuth is the uniform authentication failure sent to clients.
 var errAuth = errors.New("central: authentication failed")
 
-// handle dispatches frames on one connection until it closes.
+// handle dispatches frames on one connection until it closes. Each
+// handled request is observed into the per-type RPC latency/error
+// instruments, so a scrape shows what the server spends its time on.
 func (s *Server) handle(conn net.Conn) {
 	for {
 		f, err := protocol.ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		if err := s.dispatch(conn, f); err != nil {
-			_ = protocol.WriteError(conn, err.Error())
+		start := time.Now()
+		derr := s.dispatch(conn, f)
+		s.rpc.ObserveRPC(f.Type, time.Since(start), derr)
+		if derr != nil {
+			_ = protocol.WriteError(conn, derr.Error())
 		}
 	}
 }
@@ -475,6 +557,10 @@ func (s *Server) dispatch(conn net.Conn, f protocol.Frame) error {
 			if err := req.Contract.Validate(); err != nil {
 				return err
 			}
+			// A contract-filtered directory read is the first step of a bid
+			// solicitation (§5.1) — the closest thing the Central Server
+			// sees to the bids themselves, which flow client↔daemon.
+			s.met.bidsSolicited.Inc()
 		}
 		return protocol.WriteFrame(conn, protocol.TypeListServersOK,
 			protocol.ListServersOK{Servers: s.FederatedServers(req.Contract)})

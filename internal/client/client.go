@@ -19,6 +19,7 @@ import (
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
 	"faucets/internal/stage"
+	"faucets/internal/telemetry"
 )
 
 // Client is an authenticated Faucets session.
@@ -35,6 +36,10 @@ type Client struct {
 	RPCTimeout time.Duration
 	// UploadChunk is the staging chunk size in bytes.
 	UploadChunk int
+	// Tracer, when set, records job-lifecycle span events (submission
+	// and bid award happen client-side; the grid harness shares one
+	// tracer with the daemons to assemble the full chain).
+	Tracer *telemetry.Tracer
 }
 
 // Login authenticates with the Central Server and returns a session.
@@ -201,7 +206,15 @@ func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placemen
 		byName[info.Spec.Name] = info
 	}
 	jobID := NewJobID()
-	res, err := market.Award(0, ports, contract, crit, jobID)
+	c.Tracer.Record(jobID, telemetry.SpanSubmit, fmt.Sprintf("%s by %s: %.0f work for %d servers", contract.App, c.User, contract.Work, len(servers)))
+	// Solicit and commit separately (rather than market.Award) so the
+	// winning bid is traced before the commit round records the contract
+	// span on the daemon — keeping the chain in causal order.
+	bids := market.Solicit(0, ports, contract, crit)
+	if len(bids) > 0 {
+		c.Tracer.Record(jobID, telemetry.SpanBid, fmt.Sprintf("best of %d bids: %s at price %.2f", len(bids), bids[0].Server, bids[0].Price))
+	}
+	res, err := market.CommitRanked(0, ports, bids, jobID, false)
 	if err != nil {
 		return nil, fmt.Errorf("client: award: %w", err)
 	}

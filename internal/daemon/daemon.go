@@ -30,6 +30,7 @@ import (
 	"faucets/internal/qos"
 	"faucets/internal/scheduler"
 	"faucets/internal/stage"
+	"faucets/internal/telemetry"
 )
 
 // Config assembles a daemon.
@@ -70,6 +71,11 @@ type Config struct {
 	// contract and price, and unacknowledged settlements re-enter the
 	// outbox for redelivery. "" = in-memory only.
 	StateDir string
+	// Metrics receives this daemon's instruments (nil = the daemon owns
+	// a private registry; read it back via Daemon.Metrics).
+	Metrics *telemetry.Registry
+	// Tracer records job-lifecycle span events (nil = tracing off).
+	Tracer *telemetry.Tracer
 }
 
 // reservation is a committed-but-not-yet-submitted contract (phase two
@@ -101,6 +107,9 @@ type Daemon struct {
 
 	// journal persists admissions and the outbox (nil = in-memory only).
 	journal *journal
+
+	met *fdMetrics
+	rpc *telemetry.RPCMetrics
 
 	Stage *stage.Store
 
@@ -145,6 +154,9 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Info.Home == "" {
 		cfg.Info.Home = cfg.Info.Spec.Name
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
 	d := &Daemon{
 		cfg:        cfg,
 		epoch:      time.Now(),
@@ -157,6 +169,8 @@ func New(cfg Config) (*Daemon, error) {
 		conns:      map[net.Conn]struct{}{},
 		Stage:      stage.NewStore(),
 		closed:     make(chan struct{}),
+		met:        newFDMetrics(cfg.Metrics),
+		rpc:        telemetry.NewRPCMetrics(cfg.Metrics, "daemon"),
 	}
 	if cfg.StateDir != "" {
 		if err := d.recover(filepath.Join(cfg.StateDir, "journal.jsonl")); err != nil {
@@ -198,10 +212,19 @@ func (d *Daemon) recover(path string) error {
 		d.settledIDs[req.JobID] = true
 		d.outbox = append(d.outbox, req)
 	}
-	if err := d.journal.rewrite(st.liveRecords()); err != nil {
+	if err := d.journalRewrite(st.liveRecords()); err != nil {
 		return err
 	}
 	return nil
+}
+
+// Metrics returns the daemon's registry (for -metrics-addr serving and
+// harness scrapes).
+func (d *Daemon) Metrics() *telemetry.Registry { return d.cfg.Metrics }
+
+// trace records one job-lifecycle span event (no-op without a Tracer).
+func (d *Daemon) trace(jobID, span, detail string) {
+	d.cfg.Tracer.Record(jobID, span, detail)
 }
 
 // Now returns the daemon's virtual time in seconds.
@@ -322,7 +345,7 @@ func (d *Daemon) Close() {
 			live = append(live, journalRecord{Op: jopQueue, Settle: &req})
 		}
 		d.mu.Unlock()
-		if err := d.journal.rewrite(reduce(live).liveRecords()); err != nil {
+		if err := d.journalRewrite(reduce(live).liveRecords()); err != nil {
 			log.Printf("daemon %s: journal compact: %v", d.Name(), err)
 		}
 		d.journal.close()
@@ -336,7 +359,7 @@ func (d *Daemon) register() error {
 	retry := protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: time.Second, Stop: d.closed}
 	err := retry.Do(func() error {
 		var ok protocol.RegisterOK
-		return protocol.DialCall(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+		return protocol.DialCallObs(d.rpc, d.cfg.CentralAddr, d.cfg.RPCTimeout,
 			protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
 	})
 	if err != nil {
@@ -352,7 +375,7 @@ func (d *Daemon) verify(user, token string) error {
 		return nil
 	}
 	var ok protocol.VerifyOK
-	return protocol.DialCall(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+	return protocol.DialCallObs(d.rpc, d.cfg.CentralAddr, d.cfg.RPCTimeout,
 		protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
 }
 
@@ -364,6 +387,10 @@ func (d *Daemon) runLoop() {
 	settleTicker := time.NewTicker(d.cfg.SettleRetry)
 	defer settleTicker.Stop()
 	lastTelemetry := 0.0
+	// lastPEs tracks each running job's allocation so adaptive
+	// reallocations (paper §4: jobs shrink and expand between MinPE and
+	// MaxPE) surface as shrink/expand span events.
+	lastPEs := map[string]int{}
 	for {
 		select {
 		case <-d.closed:
@@ -374,6 +401,11 @@ func (d *Daemon) runLoop() {
 		case <-ticker.C:
 		}
 		now := d.Now()
+		type peChange struct {
+			id       string
+			from, to int
+		}
+		var changes []peChange
 		d.mu.Lock()
 		finished := d.cfg.Scheduler.Advance(now)
 		var samples []protocol.Telemetry
@@ -385,7 +417,30 @@ func (d *Daemon) runLoop() {
 				}
 			}
 		}
+		for id, j := range d.jobs {
+			if j.State() != job.Running {
+				delete(lastPEs, id)
+				continue
+			}
+			pes := j.PEs()
+			if prev, seen := lastPEs[id]; seen && prev != pes {
+				changes = append(changes, peChange{id: id, from: prev, to: pes})
+			}
+			lastPEs[id] = pes
+		}
+		d.met.queueDepth.Set(float64(d.cfg.Scheduler.QueueLen()))
+		d.met.runningJobs.Set(float64(d.cfg.Scheduler.RunningCount()))
+		d.met.usedPEs.Set(float64(d.cfg.Scheduler.UsedPEs()))
+		d.met.outboxDepth.Set(float64(len(d.outbox)))
 		d.mu.Unlock()
+
+		for _, ch := range changes {
+			span := telemetry.SpanExpand
+			if ch.to < ch.from {
+				span = telemetry.SpanShrink
+			}
+			d.trace(ch.id, span, fmt.Sprintf("%d -> %d PEs", ch.from, ch.to))
+		}
 
 		for _, j := range finished {
 			d.finishJob(now, j)
@@ -429,11 +484,13 @@ func (d *Daemon) finishJob(now float64, j *job.Job) {
 		d.outbox = append(d.outbox, req)
 		// "queue" is the job's terminal journal record: the settlement now
 		// carries the obligation, and a restart redelivers it from here.
-		d.journal.append(journalRecord{Op: jopQueue, Settle: &req})
+		d.journalAppend(journalRecord{Op: jopQueue, Settle: &req})
 	} else {
-		d.journal.append(journalRecord{Op: jopDone, JobID: id})
+		d.journalAppend(journalRecord{Op: jopDone, JobID: id})
 	}
+	d.met.jobsFinished.Inc()
 	d.mu.Unlock()
+	d.trace(id, telemetry.SpanFinish, fmt.Sprintf("%.0f CPU-seconds", cpuUsed))
 
 	// The synthetic application's output file, stamped with the
 	// temporary userid the job ran under (§2.2).
@@ -465,7 +522,7 @@ func (d *Daemon) flushSettlements() {
 	done := make(map[string]bool, len(pending))
 	for _, req := range pending {
 		var ok protocol.SettleOK
-		err := protocol.CallTimeout(conn, d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
+		err := protocol.CallTimeoutObs(d.rpc, conn, d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
 		if err == nil {
 			done[req.JobID] = true
 			continue
@@ -483,17 +540,24 @@ func (d *Daemon) flushSettlements() {
 	if len(done) == 0 {
 		return
 	}
+	var acked []string
 	d.mu.Lock()
 	kept := d.outbox[:0]
 	for _, req := range d.outbox {
 		if !done[req.JobID] {
 			kept = append(kept, req)
 		} else {
-			d.journal.append(journalRecord{Op: jopAck, JobID: req.JobID})
+			d.journalAppend(journalRecord{Op: jopAck, JobID: req.JobID})
+			d.met.settleAcked.Inc()
+			acked = append(acked, req.JobID)
 		}
 	}
 	d.outbox = kept
+	d.met.outboxDepth.Set(float64(len(d.outbox)))
 	d.mu.Unlock()
+	for _, id := range acked {
+		d.trace(id, telemetry.SpanSettle, "acknowledged by central")
+	}
 }
 
 // OutboxLen reports how many settlements await acknowledgement.
@@ -546,7 +610,7 @@ func (d *Daemon) registerWithAppSpector(id, owner, app string) {
 		return
 	}
 	var ok protocol.ASRegisterOK
-	_ = protocol.DialCall(d.cfg.AppSpectorAddr, d.cfg.RPCTimeout,
+	_ = protocol.DialCallObs(d.rpc, d.cfg.AppSpectorAddr, d.cfg.RPCTimeout,
 		protocol.TypeASRegisterReq, protocol.ASRegisterReq{
 			JobID: id, Owner: owner, Server: d.Name(), App: app,
 		}, protocol.TypeASRegisterOK, &ok)
@@ -632,8 +696,10 @@ func (d *Daemon) dispatch(conn net.Conn, f protocol.Frame) error {
 		}
 		b, ok := d.makeBid(req.Contract)
 		if !ok {
+			d.met.bidsDeclined.Inc()
 			return fmt.Errorf("daemon: %s declines the job", d.Name())
 		}
+		d.met.bids.Inc()
 		return protocol.WriteFrame(conn, protocol.TypeBidOK, protocol.BidOK{Bid: b})
 
 	case protocol.TypeCommitReq:
@@ -795,6 +861,7 @@ func (d *Daemon) commitContract(jobID, user string, b bidding.Bid) error {
 	}
 	d.reserved[jobID] = &reservation{user: user, bid: b}
 	d.Stage.CreateJob(jobID)
+	d.trace(jobID, telemetry.SpanContract, fmt.Sprintf("committed to %s at price %.2f", d.Name(), b.Price))
 	return nil
 }
 
@@ -828,8 +895,10 @@ func (d *Daemon) submit(req protocol.SubmitReq) error {
 
 	j := job.New(job.ID(req.JobID), req.User, req.Contract, now)
 	if !d.cfg.Scheduler.Submit(now, j) {
+		d.met.jobsRejected.Inc()
 		return fmt.Errorf("daemon: %s refused job %s at submission", d.Name(), req.JobID)
 	}
+	d.met.jobsAdmitted.Inc()
 	d.jobs[req.JobID] = j
 	d.owners[req.JobID] = req.User
 	// The end user holds no account on this Compute Server: the job runs
@@ -842,10 +911,11 @@ func (d *Daemon) submit(req protocol.SubmitReq) error {
 	}
 	d.outstanding += req.Contract.Work
 	d.Stage.CreateJob(req.JobID)
-	d.journal.append(journalRecord{
+	d.journalAppend(journalRecord{
 		Op: jopJob, JobID: req.JobID, Owner: req.User,
 		Price: d.prices[req.JobID], Contract: req.Contract,
 	})
+	d.trace(req.JobID, telemetry.SpanStart, fmt.Sprintf("started on %s with %d PEs", d.Name(), j.PEs()))
 
 	// Register with AppSpector outside the lock would be nicer, but the
 	// call is quick and only happens once per job.
@@ -873,7 +943,8 @@ func (d *Daemon) kill(req protocol.KillReq) (state string, err error) {
 		return "", fmt.Errorf("daemon: job %s could not be killed", req.JobID)
 	}
 	// A killed job settles nothing, so it is terminal for the journal.
-	d.journal.append(journalRecord{Op: jopDone, JobID: req.JobID})
+	d.journalAppend(journalRecord{Op: jopDone, JobID: req.JobID})
+	d.met.jobsKilled.Inc()
 	d.outstanding -= j.RemainingWork()
 	if d.outstanding < 0 {
 		d.outstanding = 0

@@ -8,7 +8,9 @@ package grid
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"faucets/internal/accounting"
@@ -22,6 +24,7 @@ import (
 	"faucets/internal/machine"
 	"faucets/internal/protocol"
 	"faucets/internal/scheduler"
+	"faucets/internal/telemetry"
 )
 
 // ClusterSpec describes one Compute Server to boot.
@@ -67,6 +70,10 @@ type Options struct {
 	// Chaos, when set, wraps every component listener so all grid
 	// traffic passes through the fault injector.
 	Chaos *chaos.Injector
+	// Metrics opens a loopback /metrics endpoint per component (the
+	// in-process equivalent of each daemon's -metrics-addr flag); read
+	// the addresses back with MetricsAddr.
+	Metrics bool
 }
 
 // Grid is a running loopback Faucets deployment.
@@ -77,11 +84,21 @@ type Grid struct {
 	AppSpectorAddr string
 	Daemons        []*daemon.Daemon
 
+	// Tracer is shared by the grid's clients and daemons, so one trace
+	// accumulates a job's full submit→settle span chain.
+	Tracer *telemetry.Tracer
+
 	// Boot parameters, kept so Restart* can rebuild a component on its
 	// original address from its state directory.
 	opts        Options
 	clusters    []ClusterSpec
 	daemonAddrs []string
+
+	// mu guards the component pointers above against concurrent reads
+	// from the metrics endpoints while Restart* swaps a component.
+	mu           sync.Mutex
+	metricsLns   []net.Listener
+	metricsAddrs map[string]string
 }
 
 // Start boots the system: FS first, then AS, then every FD (which
@@ -93,7 +110,12 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 	if opts.TimeScale <= 0 {
 		opts.TimeScale = 1000
 	}
-	g := &Grid{opts: opts, clusters: clusters}
+	g := &Grid{
+		opts:         opts,
+		clusters:     clusters,
+		Tracer:       telemetry.NewTracer(0),
+		metricsAddrs: map[string]string{},
+	}
 
 	fs, err := g.newCentral()
 	if err != nil {
@@ -109,6 +131,10 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 	if opts.PollInterval > 0 {
 		g.Central.StartPolling(opts.PollInterval)
 	}
+	if err := g.serveMetrics("central", func() *telemetry.Registry { return g.Central.Metrics }); err != nil {
+		g.Close()
+		return nil, err
+	}
 
 	g.AppSpector = appspector.NewServer(func(token string) (string, error) {
 		return g.Central.Auth.Verify(token)
@@ -120,6 +146,10 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 	}
 	g.AppSpectorAddr = asl.Addr().String()
 	go g.AppSpector.Serve(asl)
+	if err := g.serveMetrics("appspector", func() *telemetry.Registry { return g.AppSpector.Metrics }); err != nil {
+		g.Close()
+		return nil, err
+	}
 
 	for i := range clusters {
 		d, addr, err := g.startDaemon(i, "")
@@ -129,8 +159,51 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 		}
 		g.Daemons = append(g.Daemons, d)
 		g.daemonAddrs = append(g.daemonAddrs, addr)
+		idx := i
+		if err := g.serveMetrics("fd-"+clusters[i].Spec.Name, func() *telemetry.Registry {
+			return g.Daemons[idx].Metrics()
+		}); err != nil {
+			g.Close()
+			return nil, err
+		}
 	}
 	return g, nil
+}
+
+// serveMetrics opens a loopback /metrics + /trace endpoint for one
+// component when Options.Metrics is on. The registry is resolved through
+// regFn on every request, so a component replaced by RestartCentral or
+// RestartDaemon is scraped through the same endpoint — no stale registry
+// behind a surviving listener.
+func (g *Grid) serveMetrics(name string, regFn func() *telemetry.Registry) error {
+	if !g.opts.Metrics {
+		return nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("grid: metrics listener: %w", err)
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.mu.Lock()
+		reg := regFn()
+		g.mu.Unlock()
+		telemetry.Handler(reg, g.Tracer).ServeHTTP(w, r)
+	})
+	go func() { _ = http.Serve(l, h) }()
+	g.mu.Lock()
+	g.metricsLns = append(g.metricsLns, l)
+	g.metricsAddrs[name] = l.Addr().String()
+	g.mu.Unlock()
+	return nil
+}
+
+// MetricsAddr returns the scrape address of a component's /metrics
+// endpoint ("central", "appspector", or "fd-<cluster>"); "" when
+// Options.Metrics was off or the name is unknown.
+func (g *Grid) MetricsAddr(name string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.metricsAddrs[name]
 }
 
 // listen opens a loopback listener (addr "" picks a free port; a
@@ -211,6 +284,7 @@ func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
 		SettleRetry:    g.opts.SettleRetry,
 		ReRegister:     g.opts.ReRegister,
 		StateDir:       stateDir,
+		Tracer:         g.Tracer,
 	})
 	if err != nil {
 		return nil, "", err
@@ -247,7 +321,9 @@ func (g *Grid) RestartCentral() error {
 	if err != nil {
 		return err
 	}
+	g.mu.Lock()
 	g.Central = fs
+	g.mu.Unlock()
 	go fs.Serve(l)
 	if g.opts.PollInterval > 0 {
 		fs.StartPolling(g.opts.PollInterval)
@@ -268,8 +344,10 @@ func (g *Grid) RestartDaemon(name string) error {
 		if err != nil {
 			return err
 		}
+		g.mu.Lock()
 		g.Daemons[i] = nd
 		g.daemonAddrs[i] = addr
+		g.mu.Unlock()
 		return nil
 	}
 	return fmt.Errorf("grid: no daemon named %q", name)
@@ -282,6 +360,7 @@ func (g *Grid) Login(user, password string) (*client.Client, error) {
 		return nil, err
 	}
 	c.AppSpectorAddr = g.AppSpectorAddr
+	c.Tracer = g.Tracer
 	return c, nil
 }
 
@@ -296,5 +375,12 @@ func (g *Grid) Close() {
 	}
 	if g.Central != nil {
 		g.Central.Close()
+	}
+	g.mu.Lock()
+	lns := g.metricsLns
+	g.metricsLns = nil
+	g.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
 	}
 }

@@ -1,0 +1,112 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPayoffDeadlineBoundaries pins the payoff value exactly at the two
+// deadlines and just either side of them, including the zero-length
+// window where the soft and hard deadlines coincide (valid per Validate:
+// soft <= hard allows equality) — the interpolation denominator is zero
+// there, and the value must step from AtSoft straight to -Penalty
+// without dividing by it.
+func TestPayoffDeadlineBoundaries(t *testing.T) {
+	const eps = 1e-9
+	sloped := Payoff{Soft: 100, Hard: 200, AtSoft: 10, AtHard: 2, Penalty: 5}
+	zeroWin := Payoff{Soft: 100, Hard: 100, AtSoft: 10, AtHard: 2, Penalty: 5}
+	noPenalty := Payoff{Soft: 100, Hard: 200, AtSoft: 10, AtHard: 2}
+	flat := Payoff{Soft: 100, Hard: 200, AtSoft: 10, AtHard: 10, Penalty: 1}
+
+	cases := []struct {
+		name    string
+		p       Payoff
+		elapsed float64
+		want    float64
+	}{
+		{"instant completion", sloped, 0, 10},
+		{"just before soft", sloped, 100 - eps, 10},
+		{"exactly at soft", sloped, 100, 10},
+		{"just after soft", sloped, 100 + 1e-6, 10 - 8*(1e-6/100)},
+		{"midway", sloped, 150, 6},
+		{"just before hard", sloped, 200 - 1e-6, 2 + 8*(1e-6/100)},
+		{"exactly at hard", sloped, 200, 2},
+		{"just after hard", sloped, 200 + eps, -5},
+		{"long after hard", sloped, 1e9, -5},
+
+		{"zero window, at the shared deadline", zeroWin, 100, 10},
+		{"zero window, before", zeroWin, 99, 10},
+		{"zero window, just after", zeroWin, 100 + eps, -5},
+
+		{"no penalty configured", noPenalty, 300, 0},
+		{"flat payoff at hard", flat, 200, 10},
+		{"flat payoff midway", flat, 150, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); err != nil {
+				t.Fatalf("payoff %+v did not validate: %v", tc.p, err)
+			}
+			got := tc.p.Value(tc.elapsed)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Value(%v) = %v (non-finite)", tc.elapsed, got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Value(%v) = %v, want %v", tc.elapsed, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPayoffZeroWindowNeverInterpolates sweeps a dense range of times
+// across a coincident-deadline payoff: every value must be exactly
+// AtSoft or -Penalty — any other value means the zero-length window was
+// interpolated through.
+func TestPayoffZeroWindowNeverInterpolates(t *testing.T) {
+	p := Payoff{Soft: 50, Hard: 50, AtSoft: 7, AtHard: 1, Penalty: 3}
+	for i := 0; i <= 1000; i++ {
+		elapsed := float64(i) * 0.1
+		got := p.Value(elapsed)
+		if got != 7 && got != -3 {
+			t.Fatalf("Value(%v) = %v, want 7 or -3", elapsed, got)
+		}
+		if elapsed <= 50 && got != 7 {
+			t.Fatalf("Value(%v) = %v, want 7 (at or before the deadline)", elapsed, got)
+		}
+		if elapsed > 50 && got != -3 {
+			t.Fatalf("Value(%v) = %v, want -3 (past the deadline)", elapsed, got)
+		}
+	}
+}
+
+// TestContractDeadlineConsistency checks the two deadline spellings a
+// contract supports: the simple Deadline field governs when the payoff
+// is zero, and Payoff.Hard wins when both are set.
+func TestContractDeadlineConsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Contract
+		want float64
+	}{
+		{"no deadline at all", Contract{App: "a", MinPE: 1, MaxPE: 1, Work: 1}, 0},
+		{"simple deadline only", Contract{App: "a", MinPE: 1, MaxPE: 1, Work: 1, Deadline: 60}, 60},
+		{"payoff hard wins over simple", Contract{
+			App: "a", MinPE: 1, MaxPE: 1, Work: 1, Deadline: 60,
+			Payoff: Payoff{Soft: 30, Hard: 90, AtSoft: 1},
+		}, 90},
+		{"zero-window payoff", Contract{
+			App: "a", MinPE: 1, MaxPE: 1, Work: 1,
+			Payoff: Payoff{Soft: 45, Hard: 45, AtSoft: 1},
+		}, 45},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.c.Validate(); err != nil {
+				t.Fatalf("contract did not validate: %v", err)
+			}
+			if got := tc.c.HardDeadline(); got != tc.want {
+				t.Fatalf("HardDeadline() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

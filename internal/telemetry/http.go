@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text exposition format at
+// /metrics. When tracer is non-nil it additionally serves the
+// job-lifecycle traces as JSON:
+//
+//	GET /metrics        — Prometheus text format
+//	GET /trace          — {"jobs": [ids…]}
+//	GET /trace/{id}     — [{job,name,wall,detail}…] span events in order
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	if tracer != nil {
+		mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"jobs": tracer.Jobs()})
+		})
+		mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+			evs := tracer.Events(r.PathValue("id"))
+			if evs == nil {
+				http.Error(w, "telemetry: unknown job", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(evs)
+		})
+	}
+	return mux
+}
+
+// Serve exposes reg (and tracer, if non-nil) over HTTP on addr and
+// returns the bound listener — close it to stop the server. addr may use
+// port 0 to pick a free port; the listener's Addr reports the choice.
+// This is what a daemon's -metrics-addr flag and the in-process grid
+// harness both use.
+func Serve(addr string, reg *Registry, tracer *Tracer) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tracer)}
+	go func() { _ = srv.Serve(l) }()
+	return l, nil
+}

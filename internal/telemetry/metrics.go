@@ -1,0 +1,312 @@
+// Package telemetry is the observability spine of the Faucets
+// reproduction: a dependency-free metrics registry (counters, gauges,
+// histograms with fixed bucket boundaries) rendered in Prometheus text
+// exposition format, plus a lightweight job-lifecycle tracer (trace.go)
+// that records the timestamped span chain of every job from submission
+// to settlement.
+//
+// The paper's AppSpector (§2, Fig 3) makes one running job observable;
+// this package makes the system itself observable the way Nimrod-G and
+// the SLA-superscheduling literature evaluate their economies — through
+// continuously collected broker/scheduler statistics. Every daemon
+// (Central Server, Faucets Daemon, AppSpector) owns a Registry and
+// serves it over HTTP at /metrics (http.go).
+//
+// Metric naming follows the Prometheus conventions: a `faucets_` prefix,
+// a component subsystem (`central`, `daemon`, `appspector`, `rpc`), base
+// units (seconds), `_total` on counters. Hot-path updates — Counter.Inc,
+// Gauge.Set, Histogram.Observe — are lock-free atomics and perform no
+// allocation, so schedulers and RPC loops can record unconditionally
+// (see BenchmarkTelemetryHotPath).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name="value" pair attached to a metric at
+// registration time (e.g. the RPC type of a latency histogram).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (queue depth, live daemons).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		val := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed, cumulative-on-render buckets.
+// Bounds are upper bounds in ascending order; an implicit +Inf bucket
+// catches the rest.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~20) and the scan avoids
+	// sort.Search's function-value indirection on the hot path.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefLatencyBuckets are the fixed bucket boundaries used for RPC and
+// I/O latency histograms, in seconds: 100µs to 10s, roughly 2.5× apart.
+// Loopback test grids land in the low buckets; WAN deployments in the
+// high ones.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metricKind is the TYPE line value.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one registered metric instance (a name + label set).
+type series struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metrics and renders them. Registration is idempotent:
+// asking for a (name, labels) pair that already exists returns the same
+// instance, so lazily instrumented code paths need no bookkeeping.
+type Registry struct {
+	mu     sync.RWMutex
+	byKey  map[string]*series
+	series []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*series{}}
+}
+
+// seriesKey uniquely identifies a (name, labels) pair.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\xff')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the existing series for key, or registers a new one
+// built by mk. It panics if the name is already registered as a
+// different kind — that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, mk func() *series) *series {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s, ok := r.byKey[key]
+	r.mu.RUnlock()
+	if ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, kind, s.kind))
+		}
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, kind, s.kind))
+		}
+		return s
+	}
+	s = mk()
+	s.name, s.help, s.kind = name, help, kind
+	s.labels = append([]Label(nil), labels...)
+	r.byKey[key] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	return s.counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	return s.gauge
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// fixed bucket upper bounds (nil = DefLatencyBuckets). Bounds must be
+// ascending; they are copied.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	s := r.lookup(name, help, kindHistogram, labels, func() *series {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.buckets = make([]atomic.Uint64, len(h.bounds)+1)
+		return &series{hist: h}
+	})
+	return s.hist
+}
+
+// renderLabels renders {k="v",...}; extra, when non-empty, is appended
+// as a pre-rendered pair (the histogram `le` bound).
+func renderLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q's escaping (backslash, quote, \n) matches the exposition
+		// format's label-value escaping.
+		fmt.Fprintf(&b, `%s=%q`, l.Key, l.Value)
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	// %g keeps integers terse (a gauge of 3 reads as "3", not "3e+00").
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered metric in text exposition
+// format, grouped by metric name (series sharing a name emit one
+// HELP/TYPE header), names in sorted order for reproducible scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	all := append([]*series(nil), r.series...)
+	r.mu.RUnlock()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].name < all[j].name })
+
+	var b strings.Builder
+	lastName := ""
+	for _, s := range all {
+		if s.name != lastName {
+			fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+			lastName = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, renderLabels(s.labels, ""), s.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, renderLabels(s.labels, ""), formatFloat(s.gauge.Value()))
+		case kindHistogram:
+			h := s.hist
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.buckets[i].Load()
+				le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, le), cum)
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, `le="+Inf"`), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, renderLabels(s.labels, ""), formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, renderLabels(s.labels, ""), h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span names for the job lifecycle, in their canonical order. A completed
+// job's trace reads submit → bid → contract → start → [shrink/expand…] →
+// finish → settle; the adaptive reallocation spans may appear any number
+// of times (including zero) between start and finish.
+const (
+	SpanSubmit   = "submit"   // client minted the job and began selection (§5)
+	SpanBid      = "bid"      // winning bid chosen under the selection criterion
+	SpanContract = "contract" // two-phase commit awarded the contract (§5.3)
+	SpanStart    = "start"    // the daemon's scheduler started the job
+	SpanShrink   = "shrink"   // adaptive reallocation removed processors (§4)
+	SpanExpand   = "expand"   // adaptive reallocation added processors (§4)
+	SpanFinish   = "finish"   // the job reached a terminal state
+	SpanSettle   = "settle"   // the Central Server acknowledged settlement
+)
+
+// SpanEvent is one timestamped step in a job's lifecycle.
+type SpanEvent struct {
+	Job    string    `json:"job"`
+	Name   string    `json:"name"`
+	Wall   time.Time `json:"wall"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer records span events keyed by job ID. It is in-process and
+// bounded: once MaxJobs traces exist, recording a new job evicts the
+// oldest. A nil *Tracer is a valid no-op sink, so instrumented code
+// needs no conditionals.
+type Tracer struct {
+	mu      sync.Mutex
+	jobs    map[string][]SpanEvent
+	order   []string // insertion order, for eviction
+	maxJobs int
+}
+
+// NewTracer returns a tracer bounded to maxJobs job traces
+// (<=0 selects the default of 4096).
+func NewTracer(maxJobs int) *Tracer {
+	if maxJobs <= 0 {
+		maxJobs = 4096
+	}
+	return &Tracer{jobs: map[string][]SpanEvent{}, maxJobs: maxJobs}
+}
+
+// Record appends a span event to the job's trace.
+func (t *Tracer) Record(job, name, detail string) {
+	if t == nil || job == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.jobs[job]; !ok {
+		if len(t.order) >= t.maxJobs {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.jobs, evict)
+		}
+		t.order = append(t.order, job)
+	}
+	t.jobs[job] = append(t.jobs[job], SpanEvent{Job: job, Name: name, Wall: time.Now(), Detail: detail})
+}
+
+// Events returns a copy of the job's trace in recording order
+// (nil if the job is unknown).
+func (t *Tracer) Events(job string) []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.jobs[job]
+	if evs == nil {
+		return nil
+	}
+	return append([]SpanEvent(nil), evs...)
+}
+
+// Jobs lists traced job IDs, oldest first.
+func (t *Tracer) Jobs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// SpanNames projects a trace down to its ordered span names — the shape
+// harness tests assert against.
+func SpanNames(evs []SpanEvent) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Name
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTracerRecordsOrderedSpans(t *testing.T) {
+	tr := NewTracer(0)
+	for _, name := range []string{SpanSubmit, SpanBid, SpanContract, SpanStart, SpanFinish, SpanSettle} {
+		tr.Record("job-1", name, "")
+	}
+	got := SpanNames(tr.Events("job-1"))
+	want := []string{"submit", "bid", "contract", "start", "finish", "settle"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("span chain = %v, want %v", got, want)
+	}
+	for i := 1; i < len(tr.Events("job-1")); i++ {
+		evs := tr.Events("job-1")
+		if evs[i].Wall.Before(evs[i-1].Wall) {
+			t.Fatalf("timestamps not monotonic: %v", evs)
+		}
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record("a", SpanSubmit, "")
+	tr.Record("b", SpanSubmit, "")
+	tr.Record("c", SpanSubmit, "")
+	if tr.Events("a") != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	if got := tr.Jobs(); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("jobs = %v, want [b c]", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("j", SpanSubmit, "") // must not panic
+	if tr.Events("j") != nil || tr.Jobs() != nil {
+		t.Fatal("nil tracer returned data")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				tr.Record("shared", SpanExpand, "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Events("shared")); got != 800 {
+		t.Fatalf("events = %d, want 800", got)
+	}
+}

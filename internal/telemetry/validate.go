@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// promLine validates one exposition-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+// CheckExposition lints a Prometheus text-format scrape: every
+// non-comment line must be a well-formed sample, and every sample must
+// belong to a metric announced by a TYPE header. It returns how many
+// counter, gauge, and histogram metrics the scrape declares. Integration
+// tests use it to assert a daemon's /metrics output is parseable.
+func CheckExposition(text string) (counters, gauges, histograms int, err error) {
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return 0, 0, 0, fmt.Errorf("telemetry: malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			switch parts[3] {
+			case "counter":
+				counters++
+			case "gauge":
+				gauges++
+			case "histogram":
+				histograms++
+			default:
+				return 0, 0, 0, fmt.Errorf("telemetry: unknown metric type in %q", line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			return 0, 0, 0, fmt.Errorf("telemetry: malformed sample line %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				return 0, 0, 0, fmt.Errorf("telemetry: sample %q has no TYPE header", line)
+			}
+		}
+	}
+	return counters, gauges, histograms, nil
+}
+
+// SampleValue extracts the value of the first sample whose name (and
+// label block, if the selector includes one) matches selector, e.g.
+// SampleValue(text, "faucets_central_jobs_settled_total") or
+// SampleValue(text, `faucets_rpc_latency_seconds_count{component="central"`).
+// The bool reports whether a matching sample was found.
+func SampleValue(text, selector string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, selector) {
+			continue
+		}
+		rest := line[len(selector):]
+		// Reject prefix collisions: the selector must end exactly at the
+		// name/labels boundary.
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			head := rest[:i]
+			if head != "" && !strings.HasPrefix(head, "{") && !strings.HasSuffix(head, "}") {
+				continue
+			}
+			var v float64
+			if _, err := fmt.Sscanf(rest[i+1:], "%g", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -21,7 +21,9 @@ import (
 	"faucets/internal/daemon"
 	"faucets/internal/experiments"
 	"faucets/internal/gantt"
+	"faucets/internal/grid"
 	"faucets/internal/machine"
+	"faucets/internal/market"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
 	"faucets/internal/scheduler"
@@ -318,4 +320,94 @@ func BenchmarkTelemetryTraceRecord(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tr.Record("job-bench", telemetry.SpanStart, "")
 	}
+}
+
+// --- RPC transport benchmarks: per-call dial vs pooled connections ---
+
+// startBenchDaemon boots a bid-serving daemon on loopback for the
+// transport benchmarks.
+func startBenchDaemon(b *testing.B) string {
+	b.Helper()
+	spec := machine.Spec{Name: "bench", NumPE: 64, MemPerPE: 2048, CPUType: "x86", Speed: 1, CostRate: 0.01}
+	d, err := daemon.New(daemon.Config{
+		Info:      protocol.ServerInfo{Spec: spec, Apps: []string{"synth"}},
+		Scheduler: scheduler.NewEquipartition(spec, scheduler.Config{}),
+		TimeScale: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Start(l); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return l.Addr().String()
+}
+
+// BenchmarkRPCDialPerCall measures the historical transport: every bid
+// request pays a fresh TCP dial, one exchange, and a close.
+func BenchmarkRPCDialPerCall(b *testing.B) {
+	addr := startBenchDaemon(b)
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reply protocol.BidOK
+		if err := protocol.DialCall(addr, 0, protocol.TypeBidReq, protocol.BidReq{User: "u", Contract: c}, protocol.TypeBidOK, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCPooled measures the same exchange over a connection pool:
+// the dial is amortized across calls and replies are demultiplexed by
+// frame ID. The CI bench artifact pairs this with BenchmarkRPCDialPerCall
+// to keep the pooling win visible (it must stay well above 2x).
+func BenchmarkRPCPooled(b *testing.B) {
+	addr := startBenchDaemon(b)
+	p := &protocol.Pool{}
+	defer p.Close()
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reply protocol.BidOK
+		if err := p.Call(addr, 0, protocol.TypeBidReq, protocol.BidReq{User: "u", Contract: c}, protocol.TypeBidOK, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSustainedAuctions is the end-to-end number the CI bench
+// gate guards: full §5 auctions (directory filter → request-for-bids →
+// two-phase award) per second against a live two-cluster loopback grid,
+// everything riding pooled connections. A regression here means the
+// wire layer, the market round, or the daemons' bid path got slower.
+func BenchmarkGridSustainedAuctions(b *testing.B) {
+	g, err := grid.Start([]grid.ClusterSpec{
+		{Spec: machine.Spec{Name: "turing", NumPE: 64, MemPerPE: 1024, CPUType: "x86", Speed: 1, CostRate: 0.010}, Apps: []string{"synth"}},
+		{Spec: machine.Spec{Name: "lemieux", NumPE: 128, MemPerPE: 1024, CPUType: "x86", Speed: 1, CostRate: 0.008}, Apps: []string{"synth"}},
+	}, grid.Options{Users: map[string]string{"alice": "pw"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	cl, err := g.Login("alice", "pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 8, Work: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Place(c, market.LeastCost{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "auctions/s")
 }

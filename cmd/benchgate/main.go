@@ -1,0 +1,84 @@
+// Command benchgate turns raw `go test -bench` output into the CI
+// benchmark artifact and enforces the regression gate:
+//
+//	go test -bench . -benchmem -count=3 -run '^$' | tee bench.txt
+//	benchgate -in bench.txt -sha "$GITHUB_SHA" -out "BENCH_$GITHUB_SHA.json" \
+//	          -baseline BENCH_BASELINE.json \
+//	          -gate BenchmarkGridSustainedAuctions -tolerance 0.15
+//
+// Repeated -count runs are folded best-of (minimum ns/op), which is the
+// stable statistic on noisy shared runners. The gate fails (exit 1)
+// when the guarded benchmark's ns/op exceeds the committed baseline by
+// more than the tolerance. With -baseline "" only the artifact is
+// written — used to mint a new BENCH_BASELINE.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"faucets/internal/experiments"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file (empty = stdin)")
+	out := flag.String("out", "", "write the parsed report to this JSON file")
+	sha := flag.String("sha", "", "commit SHA recorded in the report")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+	gate := flag.String("gate", "BenchmarkGridSustainedAuctions", "benchmark name the gate guards")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op growth over baseline (0.15 = +15%)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchgate: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := experiments.ParseBench(src)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	rep.SHA = *sha
+	if len(rep.Results) == 0 {
+		log.Fatal("benchgate: no benchmark results in input")
+	}
+
+	names := make([]string, 0, len(rep.Results))
+	for name := range rep.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := rep.Results[name]
+		fmt.Printf("%-44s %12.0f ns/op  (%d runs)\n", name, r.NsPerOp, r.Runs)
+	}
+
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			log.Fatalf("benchgate: %v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := experiments.LoadBenchReport(*baseline)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	if err := experiments.CompareBench(base, rep, *gate, *tolerance); err != nil {
+		log.Fatalf("benchgate: GATE FAILED: %v", err)
+	}
+	cur, basev := rep.Results[*gate], base.Results[*gate]
+	fmt.Printf("gate OK: %s %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+		*gate, cur.NsPerOp, basev.NsPerOp, (cur.NsPerOp/basev.NsPerOp-1)*100, *tolerance*100)
+}

@@ -23,6 +23,7 @@ import (
 	"faucets/internal/accounting"
 	"faucets/internal/central"
 	"faucets/internal/db"
+	"faucets/internal/protocol"
 	"faucets/internal/telemetry"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	snapEvery := flag.Duration("snapshot-interval", time.Minute, "WAL compaction interval (with -state-dir)")
 	peers := flag.String("peers", "", "comma-separated peer Central Server addresses (distributed directory, §5.1)")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each federation RPC round trip")
+	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent federation RPC connections kept per peer address")
 	pollTimeout := flag.Duration("poll-timeout", 3*time.Second, "deadline for each daemon liveness probe")
 	pollWidth := flag.Int("poll-concurrency", 32, "how many daemons are probed in parallel")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics (empty = off)")
@@ -81,6 +83,7 @@ func main() {
 	}
 	srv.DeadAfter = *deadAfter
 	srv.RPCTimeout = *rpcTimeout
+	srv.PoolSize = *poolSize
 	srv.PollTimeout = *pollTimeout
 	srv.PollConcurrency = *pollWidth
 	if *peers != "" {

@@ -33,6 +33,7 @@ func main() {
 	user := flag.String("user", "", "userid")
 	pass := flag.String("pass", "", "password")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each RPC round trip")
+	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent RPC connections kept per peer address")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: faucets [flags] list|apps|credits|submit|status|watch")
@@ -42,6 +43,8 @@ func main() {
 		log.Fatalf("login: %v", err)
 	}
 	cl.AppSpectorAddr = *asAddr
+	cl.PoolSize = *poolSize
+	defer cl.Close()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {

@@ -44,6 +44,7 @@ func main() {
 	home := flag.String("home", "", "bartering home cluster (defaults to -name)")
 	timeScale := flag.Float64("timescale", 1.0, "virtual seconds per wall second")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each outbound RPC round trip")
+	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent RPC connections kept per peer address")
 	settleRetry := flag.Duration("settle-retry", time.Second, "redelivery cadence for unacknowledged settlements")
 	stateDir := flag.String("state-dir", "", "durable state directory: admitted jobs and the settlement outbox are journaled, and a restarted daemon resumes them")
 	reconfig := flag.Float64("reconfig-latency", 5.0, "adaptive-job reconfiguration stall, seconds")
@@ -71,6 +72,11 @@ func main() {
 		log.Fatalf("unknown scheduler %q", *sched)
 	}
 	var gen bidding.Generator
+	// The weather/history sources are built before the daemon so the
+	// bidder can be handed to daemon.New; the daemon's shared RPC pool is
+	// wired into them right after construction.
+	var weatherSrc *daemon.CentralWeather
+	var historySrc *daemon.CentralHistory
 	switch strings.ToLower(*bidder) {
 	case "baseline":
 		gen = bidding.Baseline{}
@@ -80,12 +86,14 @@ func main() {
 		if *centralAddr == "" {
 			log.Fatal("the weather bidder needs -central for §5.2.1 grid reports")
 		}
-		gen = bidding.NewWeather(&daemon.CentralWeather{Addr: *centralAddr, Timeout: *rpcTimeout})
+		weatherSrc = &daemon.CentralWeather{Addr: *centralAddr, Timeout: *rpcTimeout}
+		gen = bidding.NewWeather(weatherSrc)
 	case "history":
 		if *centralAddr == "" {
 			log.Fatal("the history bidder needs -central for §5.2.1 contract history")
 		}
-		gen = bidding.NewHistory(&daemon.CentralHistory{Addr: *centralAddr, Timeout: *rpcTimeout})
+		historySrc = &daemon.CentralHistory{Addr: *centralAddr, Timeout: *rpcTimeout}
+		gen = bidding.NewHistory(historySrc)
 	default:
 		log.Fatalf("unknown bidder %q", *bidder)
 	}
@@ -105,12 +113,19 @@ func main() {
 		AppSpectorAddr: *asAddr,
 		TimeScale:      *timeScale,
 		RPCTimeout:     *rpcTimeout,
+		PoolSize:       *poolSize,
 		SettleRetry:    *settleRetry,
 		StateDir:       *stateDir,
 		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatalf("daemon: %v", err)
+	}
+	if weatherSrc != nil {
+		weatherSrc.Pool = d.RPCPool()
+	}
+	if historySrc != nil {
+		historySrc.Pool = d.RPCPool()
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -324,27 +324,30 @@ func (s *Server) Close() {
 }
 
 // handle serves one connection: a job feeding telemetry, an FD
-// registering jobs, or a client watching.
+// registering jobs, or a client watching. Replies echo the request's
+// frame ID so pooled daemons can pipeline registrations.
 func (s *Server) handle(conn net.Conn) {
+	rc := protocol.NewReplyConn(conn)
 	for {
 		f, err := protocol.ReadFrame(conn)
 		if err != nil {
 			return // EOF or broken pipe: connection done
 		}
+		rc.SetID(f.ID)
 		switch f.Type {
 		case protocol.TypeASRegisterReq:
 			var req protocol.ASRegisterReq
 			if err := protocol.Decode(f, f.Type, &req); err != nil {
-				_ = protocol.WriteError(conn, err.Error())
+				_ = protocol.WriteError(rc, err.Error())
 				continue
 			}
 			s.Register(req.JobID, req.Owner, req.Server, req.App)
-			_ = protocol.WriteFrame(conn, protocol.TypeASRegisterOK, protocol.ASRegisterOK{})
+			_ = protocol.WriteFrame(rc, protocol.TypeASRegisterOK, protocol.ASRegisterOK{})
 
 		case protocol.TypeTelemetry:
 			var t protocol.Telemetry
 			if err := protocol.Decode(f, f.Type, &t); err != nil {
-				_ = protocol.WriteError(conn, err.Error())
+				_ = protocol.WriteError(rc, err.Error())
 				continue
 			}
 			// Telemetry is fire-and-forget: no reply, so a chatty job
@@ -354,14 +357,14 @@ func (s *Server) handle(conn net.Conn) {
 		case protocol.TypeWatchReq:
 			var req protocol.WatchReq
 			if err := protocol.Decode(f, f.Type, &req); err != nil {
-				_ = protocol.WriteError(conn, err.Error())
+				_ = protocol.WriteError(rc, err.Error())
 				return
 			}
 			s.serveWatch(conn, req)
 			return // watch owns the rest of the connection
 
 		default:
-			_ = protocol.WriteError(conn, "appspector: unsupported frame "+f.Type)
+			_ = protocol.WriteError(rc, "appspector: unsupported frame "+f.Type)
 		}
 	}
 }

@@ -107,6 +107,30 @@ type Server struct {
 	PollConcurrency int
 	// RPCTimeout bounds federation calls to peer Central Servers.
 	RPCTimeout time.Duration
+	// PoolSize caps persistent federation connections per peer address
+	// (zero = protocol.DefaultPoolSize).
+	PoolSize int
+
+	peerOnce sync.Once
+	peerPool *protocol.Pool
+}
+
+// peerRPC lazily builds the pool carrying federation calls to peer
+// Central Servers. It dials through s.Dial so tests that substitute the
+// poller's connection factory also steer peer traffic.
+func (s *Server) peerRPC() *protocol.Pool {
+	s.peerOnce.Do(func() {
+		s.peerPool = &protocol.Pool{
+			Size:    s.PoolSize,
+			Obs:     s.rpc,
+			PoolObs: telemetry.NewPoolMetrics(s.Metrics, "central"),
+			Retry:   protocol.Retry{Attempts: 2, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond, Stop: s.closed},
+			DialFunc: func(addr string, _ time.Duration) (net.Conn, error) {
+				return s.Dial(addr)
+			},
+		}
+	})
+	return s.peerPool
 }
 
 // New returns a Central Server in the given economic mode.
@@ -508,6 +532,7 @@ func (s *Server) Close() {
 	if l != nil {
 		l.Close()
 	}
+	s.peerRPC().Close()
 	s.wg.Wait()
 }
 
@@ -517,22 +542,26 @@ var errAuth = errors.New("central: authentication failed")
 // handle dispatches frames on one connection until it closes. Each
 // handled request is observed into the per-type RPC latency/error
 // instruments, so a scrape shows what the server spends its time on.
+// Replies echo the request's frame ID, so pooled callers can pipeline
+// multiple in-flight requests over this connection.
 func (s *Server) handle(conn net.Conn) {
+	rc := protocol.NewReplyConn(conn)
 	for {
 		f, err := protocol.ReadFrame(conn)
 		if err != nil {
 			return
 		}
+		rc.SetID(f.ID)
 		start := time.Now()
-		derr := s.dispatch(conn, f)
+		derr := s.dispatch(rc, f)
 		s.rpc.ObserveRPC(f.Type, time.Since(start), derr)
 		if derr != nil {
-			_ = protocol.WriteError(conn, derr.Error())
+			_ = protocol.WriteError(rc, derr.Error())
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, f protocol.Frame) error {
+func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 	switch f.Type {
 	case protocol.TypeAuthReq:
 		var req protocol.AuthReq

@@ -1,7 +1,6 @@
 package central
 
 import (
-	"net"
 	"sort"
 	"sync"
 
@@ -78,16 +77,13 @@ func (s *Server) FederatedServers(c *qos.Contract) []protocol.ServerInfo {
 // verifyViaPeers asks each peer to vouch for a user's token; the first
 // positive answer wins. Used when a daemon relays credentials of a user
 // whose account lives on another Central Server in the federation.
+// Verification is read-only, so it rides the pooled federation
+// connections.
 func (s *Server) verifyViaPeers(user, token string) bool {
 	for _, addr := range s.Peers() {
-		conn, err := s.Dial(addr)
-		if err != nil {
-			continue
-		}
 		var ok protocol.VerifyOK
-		err = protocol.CallTimeout(conn, s.RPCTimeout, protocol.TypePeerVerifyReq,
+		err := s.peerRPC().Call(addr, s.RPCTimeout, protocol.TypePeerVerifyReq,
 			protocol.PeerVerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
-		conn.Close()
 		if err == nil {
 			return true
 		}
@@ -95,19 +91,12 @@ func (s *Server) verifyViaPeers(user, token string) bool {
 	return false
 }
 
-// queryPeer fetches a peer's filtered directory. Peer queries use the
-// federation token so peers don't need shared user accounts.
+// queryPeer fetches a peer's filtered directory over the pooled
+// federation connection. Peer queries use the federation token so peers
+// don't need shared user accounts.
 func (s *Server) queryPeer(addr string, c *qos.Contract) ([]protocol.ServerInfo, error) {
-	conn, err := s.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetReadBuffer(1 << 16)
-	}
 	var reply protocol.ListServersOK
-	err = protocol.CallTimeout(conn, s.RPCTimeout, protocol.TypePeerListReq,
+	err := s.peerRPC().Call(addr, s.RPCTimeout, protocol.TypePeerListReq,
 		protocol.PeerListReq{Contract: c}, protocol.TypeListServersOK, &reply)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"faucets/internal/bidding"
@@ -40,6 +41,38 @@ type Client struct {
 	// and bid award happen client-side; the grid harness shares one
 	// tracer with the daemons to assemble the full chain).
 	Tracer *telemetry.Tracer
+	// PoolSize caps persistent RPC connections per peer address (zero =
+	// protocol.DefaultPoolSize). Bid solicitation, commits, submits and
+	// status polls all ride the pool; bulk transfers (Upload,
+	// FetchOutput) and the Watch stream keep dedicated connections.
+	PoolSize int
+	// PoolObs, when set, receives connection-pool lifecycle events
+	// (telemetry.NewPoolMetrics is the standard implementation).
+	PoolObs protocol.PoolObserver
+
+	poolOnce sync.Once
+	pool     *protocol.Pool
+}
+
+// rpcPool lazily builds the client's shared connection pool. The retry
+// policy matches the old callRetry path: three attempts with jittered
+// exponential backoff.
+func (c *Client) rpcPool() *protocol.Pool {
+	c.poolOnce.Do(func() {
+		c.pool = &protocol.Pool{
+			Size:        c.PoolSize,
+			DialTimeout: c.DialTimeout,
+			PoolObs:     c.PoolObs,
+			Retry:       protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond},
+		}
+	})
+	return c.pool
+}
+
+// Close releases the client's pooled connections. The session is done
+// after Close: subsequent calls fail with protocol.ErrPoolClosed.
+func (c *Client) Close() {
+	c.rpcPool().Close()
 }
 
 // Login authenticates with the Central Server and returns a session.
@@ -64,15 +97,13 @@ func LoginTimeout(centralAddr, user, password string, rpcTimeout time.Duration) 
 	return c, nil
 }
 
-// callRetry performs one dial-call-close exchange with the per-call
-// deadline, retrying transport failures with jittered backoff. Only
-// idempotent requests (directory reads, status queries) go through it;
-// a remote refusal aborts immediately.
+// callRetry performs one exchange over the shared connection pool with
+// the per-call deadline; the pool retries transport failures on a fresh
+// connection with jittered backoff. Only idempotent requests (directory
+// reads, status queries, per-job commits/submits) go through it; a
+// remote refusal aborts immediately.
 func (c *Client) callRetry(addr, reqType string, req any, wantReply string, reply any) error {
-	r := protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond}
-	return r.Do(func() error {
-		return protocol.DialCall(addr, c.RPCTimeout, reqType, req, wantReply, reply)
-	})
+	return c.rpcPool().Call(addr, c.RPCTimeout, reqType, req, wantReply, reply)
 }
 
 func (c *Client) dial(addr string) (net.Conn, error) {
@@ -129,13 +160,8 @@ type fdPort struct {
 func (p *fdPort) ServerName() string { return p.info.Spec.Name }
 
 func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, bool) {
-	conn, err := p.c.dial(p.info.Addr)
-	if err != nil {
-		return bidding.Bid{}, false
-	}
-	defer conn.Close()
 	var reply protocol.BidOK
-	err = protocol.CallTimeout(conn, p.c.RPCTimeout, protocol.TypeBidReq,
+	err := p.c.rpcPool().Call(p.info.Addr, p.c.RPCTimeout, protocol.TypeBidReq,
 		protocol.BidReq{User: p.c.User, Token: p.c.Token, Contract: contract},
 		protocol.TypeBidOK, &reply)
 	if err != nil {
@@ -147,14 +173,12 @@ func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, boo
 	return b, true
 }
 
+// Commit rides the pool too: the daemon's commit handler is idempotent
+// per (job, user), so a redial-and-resend after a broken connection is
+// safe.
 func (p *fdPort) Commit(_ float64, jobID string, b bidding.Bid) error {
-	conn, err := p.c.dial(p.info.Addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
 	var reply protocol.CommitOK
-	return protocol.CallTimeout(conn, p.c.RPCTimeout, protocol.TypeCommitReq,
+	return p.c.rpcPool().Call(p.info.Addr, p.c.RPCTimeout, protocol.TypeCommitReq,
 		protocol.CommitReq{User: p.c.User, Token: p.c.Token, JobID: jobID, Bid: b},
 		protocol.TypeCommitOK, &reply)
 }
@@ -263,15 +287,11 @@ func (c *Client) Upload(p *Placement, name string, data []byte) error {
 	}
 }
 
-// Start submits the committed job for execution.
+// Start submits the committed job for execution (idempotent per job ID,
+// so it rides the pool).
 func (c *Client) Start(p *Placement) error {
-	conn, err := c.dial(p.Server.Addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
 	var reply protocol.SubmitOK
-	return protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeSubmitReq,
+	return c.rpcPool().Call(p.Server.Addr, c.RPCTimeout, protocol.TypeSubmitReq,
 		protocol.SubmitReq{User: c.User, Token: c.Token, JobID: p.JobID, Contract: p.Contract},
 		protocol.TypeSubmitOK, &reply)
 }
@@ -307,13 +327,8 @@ func (c *Client) WaitFinished(p *Placement, timeout time.Duration) (protocol.Sta
 
 // Kill terminates the job on its daemon (only the submitting user may).
 func (c *Client) Kill(p *Placement) (protocol.KillOK, error) {
-	conn, err := c.dial(p.Server.Addr)
-	if err != nil {
-		return protocol.KillOK{}, err
-	}
-	defer conn.Close()
 	var reply protocol.KillOK
-	err = protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeKillReq,
+	err := c.rpcPool().Call(p.Server.Addr, c.RPCTimeout, protocol.TypeKillReq,
 		protocol.KillReq{User: c.User, Token: c.Token, JobID: p.JobID},
 		protocol.TypeKillOK, &reply)
 	return reply, err

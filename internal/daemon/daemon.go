@@ -65,6 +65,11 @@ type Config struct {
 	// settlements are redelivered from the outbox (default 1s). A
 	// briefly-unreachable Central Server must not lose billing records.
 	SettleRetry time.Duration
+	// PoolSize caps the persistent RPC connections kept per peer
+	// address (Central Server, AppSpector). Settlements, heartbeats,
+	// and credential verifications share pooled connections instead of
+	// paying a TCP handshake each (default protocol.DefaultPoolSize).
+	PoolSize int
 	// StateDir, when set, makes the daemon durable: job admissions and
 	// the settlement outbox are journaled there, and New recovers them —
 	// unfinished jobs are restarted from zero under their original
@@ -110,6 +115,10 @@ type Daemon struct {
 
 	met *fdMetrics
 	rpc *telemetry.RPCMetrics
+
+	// pool holds the persistent connections for every outbound RPC
+	// (register, verify, settle, AppSpector registration).
+	pool *protocol.Pool
 
 	Stage *stage.Store
 
@@ -171,6 +180,17 @@ func New(cfg Config) (*Daemon, error) {
 		closed:     make(chan struct{}),
 		met:        newFDMetrics(cfg.Metrics),
 		rpc:        telemetry.NewRPCMetrics(cfg.Metrics, "daemon"),
+	}
+	d.pool = &protocol.Pool{
+		Size:        cfg.PoolSize,
+		DialTimeout: cfg.RPCTimeout,
+		Obs:         d.rpc,
+		PoolObs:     telemetry.NewPoolMetrics(cfg.Metrics, "daemon"),
+		// One redial per call: a stale pooled connection (peer
+		// restarted, partition healed) is replaced transparently, while
+		// a genuinely-down peer fails fast so the outbox keeps the
+		// records for the next cycle instead of wedging.
+		Retry: protocol.Retry{Attempts: 2, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond, Stop: d.closed},
 	}
 	if cfg.StateDir != "" {
 		if err := d.recover(filepath.Join(cfg.StateDir, "journal.jsonl")); err != nil {
@@ -350,7 +370,14 @@ func (d *Daemon) Close() {
 		}
 		d.journal.close()
 	}
+	// After the final settlement flush: later Calls fail fast with
+	// ErrPoolClosed instead of redialing a dead grid.
+	d.pool.Close()
 }
+
+// RPCPool exposes the daemon's outbound connection pool so sibling
+// wire clients (CentralWeather, CentralHistory) can share it.
+func (d *Daemon) RPCPool() *protocol.Pool { return d.pool }
 
 // register announces this daemon to the Central Server ("at startup each
 // FD registers itself with the Faucets Central Server"). Registration is
@@ -359,7 +386,7 @@ func (d *Daemon) register() error {
 	retry := protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: time.Second, Stop: d.closed}
 	err := retry.Do(func() error {
 		var ok protocol.RegisterOK
-		return protocol.DialCallObs(d.rpc, d.cfg.CentralAddr, d.cfg.RPCTimeout,
+		return d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout,
 			protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
 	})
 	if err != nil {
@@ -375,7 +402,7 @@ func (d *Daemon) verify(user, token string) error {
 		return nil
 	}
 	var ok protocol.VerifyOK
-	return protocol.DialCallObs(d.rpc, d.cfg.CentralAddr, d.cfg.RPCTimeout,
+	return d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout,
 		protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
 }
 
@@ -501,9 +528,13 @@ func (d *Daemon) finishJob(now float64, j *job.Job) {
 	d.flushSettlements()
 }
 
-// flushSettlements delivers queued settlements to the Central Server,
-// removing each acknowledged (or permanently refused) one from the
-// outbox. Transport failures keep records queued for the next cycle.
+// flushSettlements delivers queued settlements to the Central Server
+// over the shared connection pool, removing each acknowledged (or
+// permanently refused) one from the outbox. Transport failures keep
+// records queued for the next cycle; the pool evicts broken
+// connections, so a partitioned Central Server costs one fast failure
+// here and a fresh dial on the next cycle — the outbox never wedges on
+// a dead cached connection.
 func (d *Daemon) flushSettlements() {
 	if d.cfg.CentralAddr == "" {
 		return
@@ -514,15 +545,10 @@ func (d *Daemon) flushSettlements() {
 	if len(pending) == 0 {
 		return
 	}
-	conn, err := protocol.Dial(d.cfg.CentralAddr, d.cfg.RPCTimeout)
-	if err != nil {
-		return // Central Server down: the outbox keeps the records
-	}
-	defer conn.Close()
 	done := make(map[string]bool, len(pending))
 	for _, req := range pending {
 		var ok protocol.SettleOK
-		err := protocol.CallTimeoutObs(d.rpc, conn, d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
+		err := d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
 		if err == nil {
 			done[req.JobID] = true
 			continue
@@ -610,7 +636,7 @@ func (d *Daemon) registerWithAppSpector(id, owner, app string) {
 		return
 	}
 	var ok protocol.ASRegisterOK
-	_ = protocol.DialCallObs(d.rpc, d.cfg.AppSpectorAddr, d.cfg.RPCTimeout,
+	_ = d.pool.Call(d.cfg.AppSpectorAddr, d.cfg.RPCTimeout,
 		protocol.TypeASRegisterReq, protocol.ASRegisterReq{
 			JobID: id, Owner: owner, Server: d.Name(), App: app,
 		}, protocol.TypeASRegisterOK, &ok)
@@ -656,19 +682,23 @@ func (d *Daemon) serve(l net.Listener) {
 	}
 }
 
+// handle serves one connection; replies echo the request's frame ID so
+// pooled clients can pipeline multiple in-flight requests.
 func (d *Daemon) handle(conn net.Conn) {
+	rc := protocol.NewReplyConn(conn)
 	for {
 		f, err := protocol.ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		if err := d.dispatch(conn, f); err != nil {
-			_ = protocol.WriteError(conn, err.Error())
+		rc.SetID(f.ID)
+		if err := d.dispatch(rc, f); err != nil {
+			_ = protocol.WriteError(rc, err.Error())
 		}
 	}
 }
 
-func (d *Daemon) dispatch(conn net.Conn, f protocol.Frame) error {
+func (d *Daemon) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 	switch f.Type {
 	case protocol.TypePollReq:
 		d.mu.Lock()

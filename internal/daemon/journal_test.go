@@ -133,24 +133,26 @@ func switchCentral(t *testing.T, deliver *atomic.Bool, settled *atomic.Int32) st
 			}
 			go func() {
 				defer conn.Close()
+				rc := protocol.NewReplyConn(conn)
 				for {
 					f, err := protocol.ReadFrame(conn)
 					if err != nil {
 						return
 					}
+					rc.SetID(f.ID)
 					switch f.Type {
 					case protocol.TypeRegisterReq:
-						_ = protocol.WriteFrame(conn, protocol.TypeRegisterOK, protocol.RegisterOK{})
+						_ = protocol.WriteFrame(rc, protocol.TypeRegisterOK, protocol.RegisterOK{})
 					case protocol.TypeVerifyReq:
-						_ = protocol.WriteFrame(conn, protocol.TypeVerifyOK, protocol.VerifyOK{})
+						_ = protocol.WriteFrame(rc, protocol.TypeVerifyOK, protocol.VerifyOK{})
 					case protocol.TypeSettleReq:
 						if !deliver.Load() {
 							return // sever: transport failure keeps it queued
 						}
 						settled.Add(1)
-						_ = protocol.WriteFrame(conn, protocol.TypeSettleOK, protocol.SettleOK{})
+						_ = protocol.WriteFrame(rc, protocol.TypeSettleOK, protocol.SettleOK{})
 					default:
-						_ = protocol.WriteError(conn, "stub: "+f.Type)
+						_ = protocol.WriteError(rc, "stub: "+f.Type)
 					}
 				}
 			}()

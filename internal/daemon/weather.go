@@ -22,6 +22,9 @@ type CentralWeather struct {
 	// Timeout bounds the fetch round trip (default
 	// protocol.DefaultCallTimeout).
 	Timeout time.Duration
+	// Pool, when set, carries the fetch over a shared persistent
+	// connection pool instead of dialing per report.
+	Pool *protocol.Pool
 
 	mu      sync.Mutex
 	last    weather.Report
@@ -53,7 +56,13 @@ func (c *CentralWeather) GridWeather(now float64) (weather.Report, bool) {
 
 func (c *CentralWeather) fetch() (weather.Report, bool) {
 	var reply protocol.WeatherOK
-	if err := protocol.DialCall(c.Addr, c.Timeout, protocol.TypeWeatherReq, protocol.WeatherReq{}, protocol.TypeWeatherOK, &reply); err != nil {
+	var err error
+	if c.Pool != nil {
+		err = c.Pool.Call(c.Addr, c.Timeout, protocol.TypeWeatherReq, protocol.WeatherReq{}, protocol.TypeWeatherOK, &reply)
+	} else {
+		err = protocol.DialCall(c.Addr, c.Timeout, protocol.TypeWeatherReq, protocol.WeatherReq{}, protocol.TypeWeatherOK, &reply)
+	}
+	if err != nil {
 		return weather.Report{}, false
 	}
 	return weather.Report{
@@ -76,13 +85,22 @@ type CentralHistory struct {
 	// Timeout bounds the fetch round trip (default
 	// protocol.DefaultCallTimeout).
 	Timeout time.Duration
+	// Pool, when set, carries the fetch over a shared persistent
+	// connection pool instead of dialing per query.
+	Pool *protocol.Pool
 }
 
 // SimilarContracts implements bidding.HistoryView.
 func (c *CentralHistory) SimilarContracts(now float64, ct *qos.Contract, limit int) []bidding.HistoryRecord {
 	var reply protocol.HistoryOK
-	err := protocol.DialCall(c.Addr, c.Timeout, protocol.TypeHistoryReq,
-		protocol.HistoryReq{MaxPE: ct.MaxPE, Limit: limit}, protocol.TypeHistoryOK, &reply)
+	var err error
+	if c.Pool != nil {
+		err = c.Pool.Call(c.Addr, c.Timeout, protocol.TypeHistoryReq,
+			protocol.HistoryReq{MaxPE: ct.MaxPE, Limit: limit}, protocol.TypeHistoryOK, &reply)
+	} else {
+		err = protocol.DialCall(c.Addr, c.Timeout, protocol.TypeHistoryReq,
+			protocol.HistoryReq{MaxPE: ct.MaxPE, Limit: limit}, protocol.TypeHistoryOK, &reply)
+	}
 	if err != nil {
 		return nil
 	}

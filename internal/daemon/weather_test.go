@@ -55,6 +55,35 @@ func TestCentralWeatherUnreachable(t *testing.T) {
 	}
 }
 
+// TestCentralWeatherAndHistoryOverPool: the pooled fetch path (what
+// cmd/faucetsd wires via RPCPool) returns the same data as the one-shot
+// path, reusing a persistent connection.
+func TestCentralWeatherAndHistoryOverPool(t *testing.T) {
+	fs, addr := startCentralForWeather(t)
+	info := protocol.ServerInfo{Spec: spec("w", 100), Addr: "127.0.0.1:1"}
+	if err := fs.RegisterDaemon(info); err != nil {
+		t.Fatal(err)
+	}
+	fs.MarkSeen("w", protocol.PollOK{UsedPE: 50})
+	fs.DB.AppendContract(db.ContractRecord{MaxPE: 4, Multiplier: 2.0})
+
+	pool := &protocol.Pool{}
+	defer pool.Close()
+	src := &CentralWeather{Addr: addr, TTL: time.Nanosecond, Pool: pool}
+	rep, ok := src.GridWeather(0)
+	if !ok || rep.GridUtilization != 0.5 {
+		t.Fatalf("pooled weather fetch: ok=%v rep=%+v", ok, rep)
+	}
+	view := &CentralHistory{Addr: addr, Pool: pool}
+	recs := view.SimilarContracts(0, &qos.Contract{App: "x", MinPE: 1, MaxPE: 8, Work: 1}, 10)
+	if len(recs) != 1 || recs[0].Multiplier != 2.0 {
+		t.Fatalf("pooled history fetch: recs=%v", recs)
+	}
+	if pool.OpenConns() != 1 {
+		t.Fatalf("pooled fetches opened %d conns, want 1 shared", pool.OpenConns())
+	}
+}
+
 func TestCentralHistoryFetch(t *testing.T) {
 	fs, addr := startCentralForWeather(t)
 	fs.DB.AppendContract(db.ContractRecord{MaxPE: 4, Multiplier: 1.5})

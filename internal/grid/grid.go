@@ -58,6 +58,10 @@ type Options struct {
 	// RPCTimeout bounds every wire round trip (FS polls, FD
 	// register/verify/settle); zero uses protocol defaults.
 	RPCTimeout time.Duration
+	// PoolSize caps every component's persistent RPC connections per
+	// peer address (the in-process equivalent of -rpc-pool-size; zero =
+	// protocol.DefaultPoolSize).
+	PoolSize int
 	// SettleRetry is the daemons' settlement-outbox redelivery cadence.
 	SettleRetry time.Duration
 	// ReRegister is the daemons' Central Server heartbeat cadence, so a
@@ -255,6 +259,7 @@ func (g *Grid) newCentral() (*central.Server, error) {
 		fs.PollTimeout = g.opts.RPCTimeout
 		fs.RPCTimeout = g.opts.RPCTimeout
 	}
+	fs.PoolSize = g.opts.PoolSize
 	return fs, nil
 }
 
@@ -281,6 +286,7 @@ func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
 		AppSpectorAddr: g.AppSpectorAddr,
 		TimeScale:      g.opts.TimeScale,
 		RPCTimeout:     g.opts.RPCTimeout,
+		PoolSize:       g.opts.PoolSize,
 		SettleRetry:    g.opts.SettleRetry,
 		ReRegister:     g.opts.ReRegister,
 		StateDir:       stateDir,
@@ -361,6 +367,7 @@ func (g *Grid) Login(user, password string) (*client.Client, error) {
 	}
 	c.AppSpectorAddr = g.AppSpectorAddr
 	c.Tracer = g.Tracer
+	c.PoolSize = g.opts.PoolSize
 	return c, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"faucets/internal/accounting"
+	"faucets/internal/client"
 	"faucets/internal/machine"
 	"faucets/internal/market"
 	"faucets/internal/protocol"
@@ -158,8 +159,15 @@ func TestWatchRequiresAuth(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = cl.Start(p)
-	bad := *cl
-	bad.Token = "forged"
+	// A fresh session with a forged token (Client holds a connection
+	// pool, so it must not be copied by value).
+	bad := &client.Client{
+		CentralAddr:    cl.CentralAddr,
+		AppSpectorAddr: cl.AppSpectorAddr,
+		User:           cl.User,
+		Token:          "forged",
+	}
+	defer bad.Close()
 	err = bad.Watch(p.JobID, true, func(protocol.Telemetry) bool { return true })
 	if err == nil {
 		t.Fatal("forged token watched a job")

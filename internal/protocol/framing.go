@@ -22,8 +22,13 @@ import (
 // the moon.
 const MaxFrame = 16 << 20
 
-// Frame is one protocol message.
+// Frame is one protocol message. ID correlates pipelined
+// request/response pairs on a shared connection: a pooled caller stamps
+// each request with a connection-unique ID and the server echoes it on
+// the reply, so multiple in-flight calls can demultiplex answers from
+// one stream. One-shot exchanges leave it zero (omitted on the wire).
 type Frame struct {
+	ID   uint64          `json:"id,omitempty"`
 	Type string          `json:"type"`
 	Body json.RawMessage `json:"body,omitempty"`
 }
@@ -35,7 +40,19 @@ var (
 )
 
 // WriteFrame encodes body as JSON and writes a framed message to w.
+// When w carries a frame ID (a *ReplyConn on the server side), the
+// frame is stamped with it so pipelined callers can match the reply to
+// their request.
 func WriteFrame(w io.Writer, typ string, body any) error {
+	id := uint64(0)
+	if rc, ok := w.(interface{ FrameID() uint64 }); ok {
+		id = rc.FrameID()
+	}
+	return writeFrameID(w, id, typ, body)
+}
+
+// writeFrameID writes one frame with an explicit request ID.
+func writeFrameID(w io.Writer, id uint64, typ string, body any) error {
 	var raw json.RawMessage
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -44,7 +61,7 @@ func WriteFrame(w io.Writer, typ string, body any) error {
 		}
 		raw = b
 	}
-	payload, err := json.Marshal(Frame{Type: typ, Body: raw})
+	payload, err := json.Marshal(Frame{ID: id, Type: typ, Body: raw})
 	if err != nil {
 		return fmt.Errorf("protocol: marshal frame: %w", err)
 	}
@@ -123,3 +140,22 @@ func Call(rw io.ReadWriter, reqType string, req any, wantReply string, reply any
 func WriteError(w io.Writer, msg string) error {
 	return WriteFrame(w, TypeError, ErrorBody{Message: msg})
 }
+
+// ReplyConn wraps a server-side connection so reply frames echo the ID
+// of the request being answered. A handler loop calls SetID with each
+// request's ID before dispatching; WriteFrame picks the ID up through
+// FrameID. Handler loops are single-goroutine per connection, so no
+// synchronization is needed.
+type ReplyConn struct {
+	io.ReadWriter
+	id uint64
+}
+
+// NewReplyConn wraps rw for ID-stamped replies.
+func NewReplyConn(rw io.ReadWriter) *ReplyConn { return &ReplyConn{ReadWriter: rw} }
+
+// SetID records the in-flight request's ID for the next replies.
+func (rc *ReplyConn) SetID(id uint64) { rc.id = id }
+
+// FrameID returns the ID replies are stamped with.
+func (rc *ReplyConn) FrameID() uint64 { return rc.id }

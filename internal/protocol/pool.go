@@ -1,0 +1,467 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file adds connection pooling and request pipelining on top of
+// the one-shot DialCall path. Every RPC in the system used to pay a TCP
+// handshake (client↔central↔daemon), which makes auctions expensive
+// relative to jobs — the opposite of what the paper's economic model
+// needs ("competition for every job", §5.1). A Pool keeps N persistent
+// connections per address; frame-level request IDs let many in-flight
+// calls share one connection, a reader goroutine demultiplexes replies,
+// idle connections are reaped, and broken ones are redialed with the
+// existing jittered Retry policy.
+
+// Pool defaults.
+const (
+	// DefaultPoolSize is the persistent-connection budget per address.
+	DefaultPoolSize = 2
+	// DefaultIdleTimeout is how long an unused connection survives
+	// before the reaper closes it.
+	DefaultIdleTimeout = 30 * time.Second
+)
+
+// Pool errors.
+var (
+	ErrPoolClosed = errors.New("protocol: pool closed")
+	// errConnBroken marks a checkout that raced a connection failure;
+	// Pool.Call treats it like any transport error and redials.
+	errConnBroken = errors.New("protocol: pooled connection broken")
+)
+
+// PoolObserver receives pool lifecycle events; telemetry.PoolMetrics is
+// the standard implementation (faucets_rpc_pool_* series). A nil
+// observer is silently skipped.
+type PoolObserver interface {
+	// PoolConnOpen tracks the open-connection gauge (+1 dial, -1 close).
+	PoolConnOpen(delta int)
+	// PoolCheckout counts one connection handed to a call.
+	PoolCheckout()
+	// PoolRedial counts a fresh dial forced by a broken connection.
+	PoolRedial()
+	// PoolIdleReap counts a connection closed by the idle reaper.
+	PoolIdleReap()
+}
+
+// Pool maintains persistent, pipelined RPC connections keyed by
+// address. The zero value is usable; fields must not change after the
+// first Call. Pool.Call is a drop-in replacement for DialCallObs for
+// idempotent exchanges: like Retry.Do it may deliver a request more
+// than once when a connection breaks mid-call, so non-idempotent
+// requests must keep their own one-shot path.
+type Pool struct {
+	// Size caps persistent connections per address (default
+	// DefaultPoolSize). Calls beyond Size×address share connections via
+	// pipelining rather than block.
+	Size int
+	// IdleTimeout reaps connections unused this long (default
+	// DefaultIdleTimeout).
+	IdleTimeout time.Duration
+	// DialTimeout bounds each connection attempt (zero =
+	// DefaultCallTimeout).
+	DialTimeout time.Duration
+	// Retry is the redial/backoff policy for broken connections; the
+	// zero value means 3 attempts with jittered exponential backoff.
+	Retry Retry
+	// Obs receives per-call latency/error observations, exactly like
+	// DialCallObs.
+	Obs Observer
+	// PoolObs receives pool lifecycle events.
+	PoolObs PoolObserver
+	// DialFunc overrides the dialer (tests wrap connections with the
+	// chaos injector here); nil uses Dial.
+	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conns   map[string][]*poolConn
+	dialing map[string]int // in-flight dials, reserved against Size
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// init lazily prepares the pool's internal state.
+func (p *Pool) init() {
+	p.once.Do(func() {
+		p.mu.Lock()
+		if p.conns == nil {
+			p.conns = map[string][]*poolConn{}
+		}
+		p.dialing = map[string]int{}
+		p.cond = sync.NewCond(&p.mu)
+		p.closed = make(chan struct{})
+		p.mu.Unlock()
+	})
+}
+
+func (p *Pool) size() int {
+	if p.Size > 0 {
+		return p.Size
+	}
+	return DefaultPoolSize
+}
+
+func (p *Pool) idleTimeout() time.Duration {
+	if p.IdleTimeout > 0 {
+		return p.IdleTimeout
+	}
+	return DefaultIdleTimeout
+}
+
+func (p *Pool) dial(addr string) (net.Conn, error) {
+	if p.DialFunc != nil {
+		return p.DialFunc(addr, Timeout(p.DialTimeout))
+	}
+	return Dial(addr, p.DialTimeout)
+}
+
+// Call performs one deadline-bounded request/response exchange over a
+// pooled connection, observing the outcome like DialCallObs. Transport
+// failures evict the broken connection and redial under the Retry
+// policy; a *RemoteError aborts immediately (the peer answered and
+// refused). Only idempotent calls belong here.
+func (p *Pool) Call(addr string, timeout time.Duration, reqType string, req any, wantReply string, reply any) error {
+	start := time.Now()
+	err := p.call(addr, timeout, reqType, req, wantReply, reply)
+	observe(p.Obs, reqType, start, err)
+	return err
+}
+
+func (p *Pool) call(addr string, timeout time.Duration, reqType string, req any, wantReply string, reply any) error {
+	p.init()
+	r := p.Retry
+	if r.Stop == nil {
+		r.Stop = p.closed
+	}
+	attempts := r.attempts()
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if obs := p.PoolObs; obs != nil {
+				obs.PoolRedial()
+			}
+			select {
+			case <-r.Stop:
+				return err
+			case <-time.After(r.Delay(i - 1)):
+			}
+		}
+		var pc *poolConn
+		pc, err = p.checkout(addr)
+		if err != nil {
+			if errors.Is(err, ErrPoolClosed) {
+				return err
+			}
+			continue // dial failure: back off and redial
+		}
+		err = pc.call(timeout, reqType, req, wantReply, reply)
+		pc.checkin()
+		if err == nil {
+			return nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return err // delivered and refused: retrying cannot succeed
+		}
+		// Transport trouble: pc has already been evicted by fail();
+		// loop around for a fresh connection.
+	}
+	return err
+}
+
+// checkout hands the caller a connection to addr: an existing idle one,
+// a fresh dial while under Size (in-flight dials count against the
+// budget), or the least-loaded one to share. When the budget is spent
+// entirely on dials still in flight, the caller waits for one to land
+// rather than over-dialing.
+func (p *Pool) checkout(addr string) (*poolConn, error) {
+	p.mu.Lock()
+	for {
+		select {
+		case <-p.closed:
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		default:
+		}
+		var best *poolConn
+		for _, pc := range p.conns[addr] {
+			if best == nil || pc.inflight.Load() < best.inflight.Load() {
+				best = pc
+			}
+		}
+		budget := len(p.conns[addr]) + p.dialing[addr]
+		if best != nil && (best.inflight.Load() == 0 || budget >= p.size()) {
+			best.inflight.Add(1)
+			p.mu.Unlock()
+			p.observeCheckout()
+			return best, nil
+		}
+		if budget < p.size() {
+			p.dialing[addr]++
+			break
+		}
+		// No established connection yet and every slot holds an
+		// in-flight dial: wait for one to land or fail.
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+
+	// Dial outside the lock so a slow handshake never blocks checkouts
+	// to other addresses.
+	conn, err := p.dial(addr)
+	p.mu.Lock()
+	p.dialing[addr]--
+	if err != nil {
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case <-p.closed:
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		conn.Close()
+		return nil, ErrPoolClosed
+	default:
+	}
+	pc := &poolConn{pool: p, addr: addr, conn: conn, pending: map[uint64]chan callResult{}}
+	pc.inflight.Add(1)
+	pc.lastUsed.Store(time.Now().UnixNano())
+	p.conns[addr] = append(p.conns[addr], pc)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if obs := p.PoolObs; obs != nil {
+		obs.PoolConnOpen(+1)
+	}
+	p.observeCheckout()
+	pc.idleTimer = time.AfterFunc(p.idleTimeout(), pc.reapIfIdle)
+	go pc.readLoop()
+	return pc, nil
+}
+
+func (p *Pool) observeCheckout() {
+	if obs := p.PoolObs; obs != nil {
+		obs.PoolCheckout()
+	}
+}
+
+// evict removes pc from the pool (no-op if already gone) and reports
+// the close to the observer.
+func (p *Pool) evict(pc *poolConn) {
+	p.mu.Lock()
+	conns := p.conns[pc.addr]
+	for i, c := range conns {
+		if c == pc {
+			p.conns[pc.addr] = append(conns[:i], conns[i+1:]...)
+			p.mu.Unlock()
+			if obs := p.PoolObs; obs != nil {
+				obs.PoolConnOpen(-1)
+			}
+			return
+		}
+	}
+	p.mu.Unlock()
+}
+
+// OpenConns reports the number of live pooled connections (tests).
+func (p *Pool) OpenConns() int {
+	p.init()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, conns := range p.conns {
+		n += len(conns)
+	}
+	return n
+}
+
+// Close severs every pooled connection and fails future Calls with
+// ErrPoolClosed. Safe to call more than once.
+func (p *Pool) Close() {
+	p.init()
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	p.cond.Broadcast()
+	var all []*poolConn
+	for _, conns := range p.conns {
+		all = append(all, conns...)
+	}
+	p.conns = map[string][]*poolConn{}
+	p.mu.Unlock()
+	for _, pc := range all {
+		if obs := p.PoolObs; obs != nil {
+			obs.PoolConnOpen(-1)
+		}
+		pc.failLocal(ErrPoolClosed)
+	}
+}
+
+// callResult is one demultiplexed reply (or the failure that ended the
+// connection).
+type callResult struct {
+	f   Frame
+	err error
+}
+
+// poolConn is one persistent connection with pipelined calls: writes
+// are serialized under wmu, a single readLoop goroutine routes replies
+// to waiters by frame ID.
+type poolConn struct {
+	pool *Pool
+	addr string
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan callResult
+	err     error // first failure; connection is dead once set
+
+	inflight  atomic.Int64
+	lastUsed  atomic.Int64 // UnixNano of the last checkin
+	idleTimer *time.Timer
+}
+
+// readLoop routes reply frames to pending calls until the connection
+// dies, then fails every waiter.
+func (pc *poolConn) readLoop() {
+	for {
+		f, err := ReadFrame(pc.conn)
+		if err != nil {
+			pc.fail(fmt.Errorf("protocol: pooled read %s: %w", pc.addr, err))
+			return
+		}
+		pc.mu.Lock()
+		ch := pc.pending[f.ID]
+		delete(pc.pending, f.ID)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{f: f}
+		}
+		// A reply whose waiter timed out is dropped on the floor.
+	}
+}
+
+// fail marks the connection dead, evicts it from the pool, and delivers
+// the error to every in-flight call — a partitioned or severed
+// connection fails fast instead of wedging callers until their
+// deadlines.
+func (pc *poolConn) fail(err error) {
+	pc.pool.evict(pc)
+	pc.failLocal(err)
+}
+
+// failLocal is fail without the evict (Close already detached us).
+func (pc *poolConn) failLocal(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+	}
+	pending := pc.pending
+	pc.pending = map[uint64]chan callResult{}
+	pc.mu.Unlock()
+	pc.conn.Close()
+	if pc.idleTimer != nil {
+		pc.idleTimer.Stop()
+	}
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}
+
+// reapIfIdle closes the connection if it has sat unused for the idle
+// timeout; otherwise it re-arms the timer for the remaining window.
+func (pc *poolConn) reapIfIdle() {
+	idle := pc.pool.idleTimeout()
+	last := time.Unix(0, pc.lastUsed.Load())
+	if pc.inflight.Load() == 0 && time.Since(last) >= idle {
+		if obs := pc.pool.PoolObs; obs != nil {
+			obs.PoolIdleReap()
+		}
+		pc.fail(fmt.Errorf("%w: idle reap", net.ErrClosed))
+		return
+	}
+	// Re-arm for the remaining window, with a floor so a long in-flight
+	// call (lastUsed far in the past, inflight > 0) re-checks at a
+	// bounded cadence instead of spinning.
+	d := idle - time.Since(last)
+	if d < idle/4 {
+		d = idle / 4
+	}
+	pc.idleTimer.Reset(d)
+}
+
+// checkin releases the caller's claim and refreshes the idle clock.
+func (pc *poolConn) checkin() {
+	pc.lastUsed.Store(time.Now().UnixNano())
+	pc.inflight.Add(-1)
+}
+
+// call performs one pipelined exchange under an absolute deadline. The
+// connection is shared, so the deadline is enforced with a timer and a
+// per-call reply channel rather than SetDeadline; a call that times out
+// kills the connection (a peer that stopped answering would poison
+// every later call sharing it).
+func (pc *poolConn) call(timeout time.Duration, reqType string, req any, wantReply string, reply any) error {
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return fmt.Errorf("%w: %w", errConnBroken, err)
+	}
+	pc.nextID++
+	id := pc.nextID
+	ch := make(chan callResult, 1)
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+
+	pc.wmu.Lock()
+	_ = pc.conn.SetWriteDeadline(time.Now().Add(Timeout(timeout)))
+	err := writeFrameID(pc.conn, id, reqType, req)
+	_ = pc.conn.SetWriteDeadline(time.Time{})
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.drop(id)
+		pc.fail(err)
+		return err
+	}
+
+	timer := time.NewTimer(Timeout(timeout))
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return res.err
+		}
+		if res.f.Type == TypeError {
+			var e ErrorBody
+			_ = Decode(res.f, TypeError, &e)
+			return &RemoteError{Message: e.Message}
+		}
+		return Decode(res.f, wantReply, reply)
+	case <-timer.C:
+		pc.drop(id)
+		err := fmt.Errorf("protocol: pooled call %s %s: deadline exceeded", pc.addr, reqType)
+		pc.fail(err)
+		return err
+	}
+}
+
+// drop abandons a pending call registration.
+func (pc *poolConn) drop(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}

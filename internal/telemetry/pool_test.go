@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPoolMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	m := NewPoolMetrics(reg, "daemon")
+
+	m.PoolConnOpen(+1)
+	m.PoolConnOpen(+1)
+	m.PoolConnOpen(-1)
+	m.PoolCheckout()
+	m.PoolCheckout()
+	m.PoolCheckout()
+	m.PoolRedial()
+	m.PoolIdleReap()
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if _, _, _, err := CheckExposition(text); err != nil {
+		t.Fatal(err)
+	}
+	for selector, want := range map[string]float64{
+		`faucets_rpc_pool_open_conns{component="daemon"}`:       1,
+		`faucets_rpc_pool_checkouts_total{component="daemon"}`:  3,
+		`faucets_rpc_pool_redials_total{component="daemon"}`:    1,
+		`faucets_rpc_pool_idle_reaps_total{component="daemon"}`: 1,
+	} {
+		v, ok := SampleValue(text, selector)
+		if !ok {
+			t.Fatalf("%s missing from exposition:\n%s", selector, text)
+		}
+		if v != want {
+			t.Fatalf("%s = %v, want %v", selector, v, want)
+		}
+	}
+}
+
+// TestPoolMetricsNilSafe: un-instrumented components pass a nil
+// *PoolMetrics to protocol.Pool; every method must be a no-op.
+func TestPoolMetricsNilSafe(t *testing.T) {
+	var m *PoolMetrics
+	m.PoolConnOpen(+1)
+	m.PoolCheckout()
+	m.PoolRedial()
+	m.PoolIdleReap()
+}

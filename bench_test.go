@@ -14,11 +14,15 @@ package faucets_test
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"net"
 
+	"faucets/internal/bidding"
 	"faucets/internal/daemon"
+	"faucets/internal/db"
 	"faucets/internal/experiments"
 	"faucets/internal/gantt"
 	"faucets/internal/grid"
@@ -325,10 +329,10 @@ func BenchmarkTelemetryTraceRecord(b *testing.B) {
 // --- RPC transport benchmarks: per-call dial vs pooled connections ---
 
 // startBenchDaemon boots a bid-serving daemon on loopback for the
-// transport benchmarks.
-func startBenchDaemon(b *testing.B) string {
+// transport and fan-out benchmarks.
+func startBenchDaemon(b *testing.B, name string) string {
 	b.Helper()
-	spec := machine.Spec{Name: "bench", NumPE: 64, MemPerPE: 2048, CPUType: "x86", Speed: 1, CostRate: 0.01}
+	spec := machine.Spec{Name: name, NumPE: 64, MemPerPE: 2048, CPUType: "x86", Speed: 1, CostRate: 0.01}
 	d, err := daemon.New(daemon.Config{
 		Info:      protocol.ServerInfo{Spec: spec, Apps: []string{"synth"}},
 		Scheduler: scheduler.NewEquipartition(spec, scheduler.Config{}),
@@ -351,7 +355,7 @@ func startBenchDaemon(b *testing.B) string {
 // BenchmarkRPCDialPerCall measures the historical transport: every bid
 // request pays a fresh TCP dial, one exchange, and a close.
 func BenchmarkRPCDialPerCall(b *testing.B) {
-	addr := startBenchDaemon(b)
+	addr := startBenchDaemon(b, "bench")
 	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -368,7 +372,7 @@ func BenchmarkRPCDialPerCall(b *testing.B) {
 // frame ID. The CI bench artifact pairs this with BenchmarkRPCDialPerCall
 // to keep the pooling win visible (it must stay well above 2x).
 func BenchmarkRPCPooled(b *testing.B) {
-	addr := startBenchDaemon(b)
+	addr := startBenchDaemon(b, "bench")
 	p := &protocol.Pool{}
 	defer p.Close()
 	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
@@ -410,4 +414,154 @@ func BenchmarkGridSustainedAuctions(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "auctions/s")
+}
+
+// --- Auction fan-out benchmarks: parallel vs serial request-for-bids ---
+
+// benchBidPort adapts a live daemon address to market.ServerPort over a
+// pooled connection — the same shape the client's fan-out uses.
+type benchBidPort struct {
+	name string
+	addr string
+	pool *protocol.Pool
+}
+
+func (p *benchBidPort) ServerName() string { return p.name }
+
+func (p *benchBidPort) RequestBid(_ float64, c *qos.Contract) (bidding.Bid, bool) {
+	var reply protocol.BidOK
+	if err := p.pool.Call(p.addr, 2*time.Second, protocol.TypeBidReq,
+		protocol.BidReq{User: "u", Contract: c}, protocol.TypeBidOK, &reply); err != nil {
+		return bidding.Bid{}, false
+	}
+	return reply.Bid, reply.Bid.Server != ""
+}
+
+func (p *benchBidPort) Commit(float64, string, bidding.Bid) error { return nil }
+
+// startSlowBidStub serves bids only after a fixed delay — the hung
+// daemon every fan-out auction must tolerate.
+func startSlowBidStub(b *testing.B, name string, delay time.Duration) string {
+	b.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				rc := protocol.NewReplyConn(conn)
+				var wmu sync.Mutex // serializes ID-stamped reply writes
+				for {
+					f, err := protocol.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					// Answer on a separate goroutine so forfeited (timed-out)
+					// requests from earlier rounds cannot queue up behind this
+					// round's delay.
+					go func(id uint64) {
+						time.Sleep(delay)
+						wmu.Lock()
+						defer wmu.Unlock()
+						rc.SetID(id)
+						_ = protocol.WriteFrame(rc, protocol.TypeBidOK, protocol.BidOK{
+							Bid: bidding.Bid{Server: name, Price: 0.001, EstCompletion: 1},
+						})
+					}(f.ID)
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+// benchFanoutPorts builds the ISSUE's reference auction: 12 live
+// Faucets Daemons plus one seeded slow bidder (10ms before it answers).
+func benchFanoutPorts(b *testing.B) []market.ServerPort {
+	b.Helper()
+	pool := &protocol.Pool{}
+	b.Cleanup(func() { pool.Close() })
+	var ports []market.ServerPort
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("bench-%02d", i)
+		ports = append(ports, &benchBidPort{name: name, addr: startBenchDaemon(b, name), pool: pool})
+	}
+	ports = append(ports, &benchBidPort{
+		name: "zz-slow", addr: startSlowBidStub(b, "zz-slow", 10*time.Millisecond), pool: pool,
+	})
+	return ports
+}
+
+// BenchmarkAuctionFanout measures one full request-for-bids round over
+// the parallel fan-out: 12 live daemons answer concurrently and the
+// seeded slow bidder forfeits at the 2ms per-bid deadline instead of
+// stalling the auction. Pair with BenchmarkAuctionFanoutSerial — the
+// ratio is the headline win and must stay ≥3x.
+func BenchmarkAuctionFanout(b *testing.B) {
+	ports := benchFanoutPorts(b)
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
+	opts := market.SolicitOpts{Concurrency: 16, Timeout: 2 * time.Millisecond}
+	market.SolicitSerial(0, ports, c, market.LeastCost{}) // warm the connection pool
+	// One probe round outside the timer: the slow bidder must forfeit and
+	// a quorum must remain. (Inside the timed loop the counts depend on
+	// runner load, so asserting them there makes the benchmark flaky —
+	// the determinism properties are unit-tested in internal/market.)
+	probe := market.SolicitWith(0, ports, c, market.LeastCost{}, opts)
+	if len(probe) < 8 {
+		b.Fatalf("probe bids=%d, want most of the 12 fast daemons", len(probe))
+	}
+	for _, bid := range probe {
+		if bid.Server == "zz-slow" {
+			b.Fatal("slow bidder answered inside the per-bid deadline")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		market.SolicitWith(0, ports, c, market.LeastCost{}, opts)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "auctions/s")
+}
+
+// BenchmarkAuctionFanoutSerial is the historical one-at-a-time walk over
+// the identical fleet: every round pays the sum of all round trips plus
+// the slow bidder's full 10ms answer time.
+func BenchmarkAuctionFanoutSerial(b *testing.B) {
+	ports := benchFanoutPorts(b)
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
+	market.SolicitSerial(0, ports, c, market.LeastCost{}) // warm the connection pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bids := market.SolicitSerial(0, ports, c, market.LeastCost{}); len(bids) != 13 {
+			b.Fatalf("bids=%d, want 13 (serial waits the slow bidder out)", len(bids))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "auctions/s")
+}
+
+// BenchmarkWALGroupCommit measures durable mutations under contention:
+// every parallel worker's record must be fsync'd before its call
+// returns, so the ns/op is the per-record share of a group fsync. The
+// CI gate guards it with a loose tolerance (fsync times vary across
+// runners) to catch a regression to one-fsync-per-record.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	store, err := db.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			store.AddCredits("bench", 1)
+		}
+	})
 }

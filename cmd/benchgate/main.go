@@ -4,13 +4,18 @@
 //	go test -bench . -benchmem -count=3 -run '^$' | tee bench.txt
 //	benchgate -in bench.txt -sha "$GITHUB_SHA" -out "BENCH_$GITHUB_SHA.json" \
 //	          -baseline BENCH_BASELINE.json \
-//	          -gate BenchmarkGridSustainedAuctions -tolerance 0.15
+//	          -gate 'BenchmarkGridSustainedAuctions,BenchmarkWALGroupCommit=0.6' \
+//	          -tolerance 0.15
 //
 // Repeated -count runs are folded best-of (minimum ns/op), which is the
-// stable statistic on noisy shared runners. The gate fails (exit 1)
-// when the guarded benchmark's ns/op exceeds the committed baseline by
-// more than the tolerance. With -baseline "" only the artifact is
-// written — used to mint a new BENCH_BASELINE.json.
+// stable statistic on noisy shared runners. -gate takes a
+// comma-separated list of benchmark names, each optionally carrying its
+// own tolerance as name=tolerance (fsync- or network-bound benchmarks
+// need looser bounds than CPU-bound ones); names without one use
+// -tolerance. The gate fails (exit 1) when any guarded benchmark's
+// ns/op exceeds the committed baseline by more than its tolerance. With
+// -baseline "" only the artifact is written — used to mint a new
+// BENCH_BASELINE.json.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"faucets/internal/experiments"
 )
@@ -29,8 +36,8 @@ func main() {
 	out := flag.String("out", "", "write the parsed report to this JSON file")
 	sha := flag.String("sha", "", "commit SHA recorded in the report")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
-	gate := flag.String("gate", "BenchmarkGridSustainedAuctions", "benchmark name the gate guards")
-	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op growth over baseline (0.15 = +15%)")
+	gate := flag.String("gate", "BenchmarkGridSustainedAuctions", "comma-separated benchmark names the gate guards, each optionally name=tolerance")
+	tolerance := flag.Float64("tolerance", 0.15, "default allowed ns/op growth over baseline (0.15 = +15%)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -75,10 +82,25 @@ func main() {
 	if err != nil {
 		log.Fatalf("benchgate: %v", err)
 	}
-	if err := experiments.CompareBench(base, rep, *gate, *tolerance); err != nil {
-		log.Fatalf("benchgate: GATE FAILED: %v", err)
+	for _, g := range strings.Split(*gate, ",") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		name, tol := g, *tolerance
+		if i := strings.IndexByte(g, '='); i >= 0 {
+			name = g[:i]
+			t, err := strconv.ParseFloat(g[i+1:], 64)
+			if err != nil {
+				log.Fatalf("benchgate: bad gate tolerance %q: %v", g, err)
+			}
+			tol = t
+		}
+		if err := experiments.CompareBench(base, rep, name, tol); err != nil {
+			log.Fatalf("benchgate: GATE FAILED: %v", err)
+		}
+		cur, basev := rep.Results[name], base.Results[name]
+		fmt.Printf("gate OK: %s %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			name, cur.NsPerOp, basev.NsPerOp, (cur.NsPerOp/basev.NsPerOp-1)*100, tol*100)
 	}
-	cur, basev := rep.Results[*gate], base.Results[*gate]
-	fmt.Printf("gate OK: %s %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
-		*gate, cur.NsPerOp, basev.NsPerOp, (cur.NsPerOp/basev.NsPerOp-1)*100, *tolerance*100)
 }

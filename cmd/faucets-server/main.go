@@ -37,6 +37,7 @@ func main() {
 	dbEvery := flag.Duration("db-interval", time.Minute, "snapshot save interval (with -db)")
 	stateDir := flag.String("state-dir", "", "durable state directory (snapshot + write-ahead log): every mutation is logged, and a restarted server recovers accounts, history, and settled-job marks")
 	snapEvery := flag.Duration("snapshot-interval", time.Minute, "WAL compaction interval (with -state-dir)")
+	walWindow := flag.Duration("wal-group-window", 0, "WAL group-commit accumulation window: how long a batch leader waits for concurrent mutations to pile on before the shared fsync (0 = flush immediately; with -state-dir)")
 	peers := flag.String("peers", "", "comma-separated peer Central Server addresses (distributed directory, §5.1)")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each federation RPC round trip")
 	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent federation RPC connections kept per peer address")
@@ -67,6 +68,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("db: %v", err)
 		}
+		store.SetGroupWindow(*walWindow)
 		srv = central.NewWithDB(m, store)
 		log.Printf("faucets-server: recovered durable state from %s (%d history records)", *stateDir, store.HistoryLen())
 	case *dbPath != "":

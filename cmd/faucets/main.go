@@ -34,6 +34,8 @@ func main() {
 	pass := flag.String("pass", "", "password")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each RPC round trip")
 	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent RPC connections kept per peer address")
+	bidConc := flag.Int("bid-concurrency", 0, "daemons asked for a bid in parallel during submit (0 = min(16, #servers), 1 = serial)")
+	bidTimeout := flag.Duration("bid-timeout", 0, "per-bid deadline: a daemon that does not answer in time forfeits its bid (0 = rpc-timeout only)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: faucets [flags] list|apps|credits|submit|status|watch")
@@ -44,6 +46,8 @@ func main() {
 	}
 	cl.AppSpectorAddr = *asAddr
 	cl.PoolSize = *poolSize
+	cl.BidConcurrency = *bidConc
+	cl.BidTimeout = *bidTimeout
 	defer cl.Close()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]

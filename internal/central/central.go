@@ -79,13 +79,35 @@ type Server struct {
 	met     *srvMetrics
 	rpc     *telemetry.RPCMetrics
 
-	mu       sync.Mutex
+	// mu guards the registry. Reader/writer split: the read-heavy paths
+	// (Servers, Apps, Weather's fleet scan, PollOnce's target snapshot)
+	// take the read side, so they stop serializing against each other
+	// and against concurrent bid solicitations during a poll.
+	mu       sync.RWMutex
 	registry map[string]*regEntry
 	peers    []string
 
 	// settleMu serializes settlement application so the settled-check,
 	// billing, and history append act as one atomic step per job ID.
 	settleMu sync.Mutex
+	// dirtySettles (under settleMu) tracks job IDs settled in memory
+	// whose WAL group commit failed: their acknowledgment is withheld
+	// (the daemon keeps redelivering) until a Compact folds the
+	// in-memory state into a durable snapshot.
+	dirtySettles map[string]bool
+
+	// wagg incrementally mirrors the settled-contract window, so a
+	// weather report costs O(1) instead of rescanning history.
+	wagg *weather.Aggregate
+	// WeatherTTL bounds how stale a cached weather report may be served
+	// (zero = DefaultWeatherTTL). Settlements invalidate the cache
+	// immediately, so the TTL only covers fleet-state drift between
+	// polls.
+	WeatherTTL time.Duration
+	weatherMu  sync.Mutex
+	weatherAt  time.Time
+	weatherOK  bool
+	weatherRep weather.Report
 
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -142,17 +164,28 @@ func New(mode accounting.Mode) *Server {
 // used to resume from a JSON snapshot (db.Load).
 func NewWithDB(mode accounting.Mode, store *db.DB) *Server {
 	reg := telemetry.NewRegistry()
+	store.Instrument(reg)
+	wagg := weather.NewAggregate()
+	// Recover the price window from history: RecentContracts is newest
+	// first, the aggregate wants arrival order.
+	recs := store.RecentContracts(nil, weather.Window)
+	for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	wagg.Seed(recs)
 	return &Server{
-		Auth:      auth.New(24 * time.Hour),
-		DB:        store,
-		Acct:      accounting.New(mode, store),
-		Metrics:   reg,
-		met:       newSrvMetrics(reg),
-		rpc:       telemetry.NewRPCMetrics(reg, "central"),
-		registry:  map[string]*regEntry{},
-		conns:     map[net.Conn]struct{}{},
-		closed:    make(chan struct{}),
-		DeadAfter: 30 * time.Second,
+		Auth:         auth.New(24 * time.Hour),
+		DB:           store,
+		Acct:         accounting.New(mode, store),
+		Metrics:      reg,
+		met:          newSrvMetrics(reg),
+		rpc:          telemetry.NewRPCMetrics(reg, "central"),
+		registry:     map[string]*regEntry{},
+		dirtySettles: map[string]bool{},
+		wagg:         wagg,
+		conns:        map[net.Conn]struct{}{},
+		closed:       make(chan struct{}),
+		DeadAfter:    30 * time.Second,
 		Dial: func(addr string) (net.Conn, error) {
 			return protocol.Dial(addr, 5*time.Second)
 		},
@@ -175,6 +208,7 @@ func (s *Server) RegisterDaemon(info protocol.ServerInfo) error {
 	s.registry[info.Spec.Name] = &regEntry{info: info, lastSeen: time.Now(), alive: true}
 	s.met.registrations.Inc()
 	s.gaugeDirectoryLocked()
+	s.invalidateWeather()
 	return nil
 }
 
@@ -199,6 +233,7 @@ func (s *Server) Deregister(name string) {
 	defer s.mu.Unlock()
 	delete(s.registry, name)
 	s.gaugeDirectoryLocked()
+	s.invalidateWeather()
 }
 
 // MarkSeen refreshes a daemon's liveness with fresh dynamic state.
@@ -211,6 +246,7 @@ func (s *Server) MarkSeen(name string, dyn protocol.PollOK) {
 		e.dyn = dyn
 	}
 	s.gaugeDirectoryLocked()
+	s.invalidateWeather()
 }
 
 // MarkDead flags a daemon as unavailable (poll failure).
@@ -221,6 +257,7 @@ func (s *Server) MarkDead(name string) {
 		e.alive = false
 	}
 	s.gaugeDirectoryLocked()
+	s.invalidateWeather()
 }
 
 // Servers returns directory entries matching the contract, applying the
@@ -228,8 +265,8 @@ func (s *Server) MarkDead(name string) {
 // exported applications) and dynamic properties (daemon liveness). A nil
 // contract lists every live server.
 func (s *Server) Servers(c *qos.Contract) []protocol.ServerInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	now := time.Now()
 	var out []protocol.ServerInfo
 	for _, e := range s.registry {
@@ -273,8 +310,8 @@ func matches(info protocol.ServerInfo, c *qos.Contract) bool {
 // as Servers applies: a daemon that stopped answering polls must not
 // keep exporting applications indefinitely.
 func (s *Server) Apps() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	now := time.Now()
 	set := map[string]struct{}{}
 	for _, e := range s.registry {
@@ -310,6 +347,17 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 	s.settleMu.Lock()
 	defer s.settleMu.Unlock()
 	if s.DB.Settled(req.JobID) {
+		if s.dirtySettles[req.JobID] {
+			// Settled in memory but its WAL group commit failed, so the
+			// ack was withheld and the daemon redelivered. Repair by
+			// compacting: the snapshot is written from memory, which
+			// already holds the full settlement.
+			if err := s.compactTimed(); err != nil {
+				s.met.settleErrors.Inc()
+				return protocol.MarkRetryable(fmt.Errorf("central: settle %s: durability: %w", req.JobID, err))
+			}
+			s.dirtySettles = map[string]bool{} // snapshot covers everything
+		}
 		s.met.settleRetries.Inc()
 		return nil // duplicate redelivery: re-acknowledge, apply nothing
 	}
@@ -317,9 +365,9 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 		req.HomeCluster = s.Auth.HomeCluster(req.User)
 	}
 	s.DB.BeginBatch()
-	defer s.DB.CommitBatch()
 	if err := s.Acct.Settle(req.JobID, req.User, req.HomeCluster, req.Server, req.Price); err != nil {
 		s.met.settleErrors.Inc()
+		s.DB.CommitBatch() // flush whatever the failed attempt staged
 		return err
 	}
 	s.DB.MarkSettled(req.JobID)
@@ -332,17 +380,51 @@ func (s *Server) Settle(req protocol.SettleReq) error {
 		App: req.App, Server: req.Server, MinPE: req.MinPE, MaxPE: req.MaxPE,
 		Price: req.Price, Multiplier: mult,
 	})
+	if err := s.DB.CommitBatch(); err != nil {
+		// Applied in memory but not confirmed on disk. Withhold the ack
+		// (retryable, so the daemon's outbox redelivers) and remember
+		// the job as dirty; the redelivery path above repairs
+		// durability via a snapshot.
+		s.dirtySettles[req.JobID] = true
+		s.met.settleErrors.Inc()
+		return protocol.MarkRetryable(fmt.Errorf("central: settle %s: durability: %w", req.JobID, err))
+	}
+	s.wagg.Add(req.MaxPE, mult)
+	s.invalidateWeather()
 	s.met.settled.Inc()
 	s.met.contracts.Inc()
 	return nil
 }
 
-// Weather computes the grid-weather report of §5.2.1 from the live
-// fleet's dynamic state and the settled-contract history.
+// DefaultWeatherTTL is how long a cached weather report is served
+// before the fleet state is rescanned.
+const DefaultWeatherTTL = 250 * time.Millisecond
+
+// Weather serves the grid-weather report of §5.2.1. The contract-price
+// statistics come from the incrementally maintained aggregate (updated
+// at each settlement) and the fleet scan is cached for WeatherTTL, so a
+// burst of weather requests costs one O(fleet) pass instead of a full
+// history rescan each. Settlements and registry events (register,
+// poll result, death) invalidate the cache immediately, so a report
+// never misses a settled contract and the TTL only bounds drift from
+// pure time passage (a daemon silently crossing the staleness
+// threshold).
 func (s *Server) Weather() weather.Report {
-	s.mu.Lock()
-	used, total, servers := 0, 0, 0
+	ttl := s.WeatherTTL
+	if ttl <= 0 {
+		ttl = DefaultWeatherTTL
+	}
 	now := time.Now()
+	s.weatherMu.Lock()
+	if s.weatherOK && now.Sub(s.weatherAt) <= ttl {
+		r := s.weatherRep
+		s.weatherMu.Unlock()
+		return r
+	}
+	s.weatherMu.Unlock()
+
+	s.mu.RLock()
+	used, total, servers := 0, 0, 0
 	for _, e := range s.registry {
 		if !e.alive || now.Sub(e.lastSeen) > s.DeadAfter {
 			continue
@@ -351,8 +433,29 @@ func (s *Server) Weather() weather.Report {
 		used += e.dyn.UsedPE
 		total += e.info.Spec.NumPE
 	}
-	s.mu.Unlock()
-	return weather.Compute(float64(now.UnixNano())/1e9, used, total, servers, s.DB)
+	s.mu.RUnlock()
+
+	r := weather.Report{Time: float64(now.UnixNano()) / 1e9, Servers: servers, TotalPE: total}
+	if total > 0 {
+		r.GridUtilization = float64(used) / float64(total)
+		if r.GridUtilization > 1 {
+			r.GridUtilization = 1
+		}
+	}
+	s.wagg.Fill(&r)
+
+	s.weatherMu.Lock()
+	s.weatherRep, s.weatherAt, s.weatherOK = r, now, true
+	s.weatherMu.Unlock()
+	return r
+}
+
+// invalidateWeather drops the cached report so the next request
+// reflects the state that just changed.
+func (s *Server) invalidateWeather() {
+	s.weatherMu.Lock()
+	s.weatherOK = false
+	s.weatherMu.Unlock()
 }
 
 // PollOnce probes every registered daemon and updates liveness; it
@@ -363,14 +466,14 @@ func (s *Server) Weather() weather.Report {
 func (s *Server) PollOnce() int {
 	start := time.Now()
 	defer func() { s.met.pollFanout.Observe(time.Since(start).Seconds()) }()
-	s.mu.Lock()
+	s.mu.RLock()
 	targets := make(map[string]string, len(s.registry))
 	for name, e := range s.registry {
 		targets[name] = e.info.Addr
 	}
 	width := s.PollConcurrency
 	timeout := s.PollTimeout
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if width <= 0 {
 		width = 32
 	}
@@ -556,7 +659,7 @@ func (s *Server) handle(conn net.Conn) {
 		derr := s.dispatch(rc, f)
 		s.rpc.ObserveRPC(f.Type, time.Since(start), derr)
 		if derr != nil {
-			_ = protocol.WriteError(rc, derr.Error())
+			_ = protocol.WriteErrorFrom(rc, derr)
 		}
 	}
 }

@@ -355,3 +355,44 @@ func TestHistoryEndpoint(t *testing.T) {
 		t.Fatalf("order/content: %v", reply.Records)
 	}
 }
+
+// TestWeatherCacheTTLAndInvalidation: within the TTL the report is
+// served from cache (no fleet rescan), and any registry or settlement
+// event invalidates it immediately, so the TTL only ever bounds drift
+// from pure time passage.
+func TestWeatherCacheTTLAndInvalidation(t *testing.T) {
+	s := New(accounting.Dollars)
+	defer s.Close()
+	s.WeatherTTL = time.Hour // make a stale serve unmistakable
+	_ = s.RegisterDaemon(info("a", 100, 512))
+	s.MarkSeen("a", protocol.PollOK{UsedPE: 50})
+
+	if r := s.Weather(); r.Servers != 1 {
+		t.Fatalf("prime: %+v", r)
+	}
+	// Poison the cached copy: if the next call rescans, the poison is
+	// overwritten; if it serves from cache (expected), it shows through.
+	s.weatherMu.Lock()
+	s.weatherRep.Servers = 999
+	s.weatherMu.Unlock()
+	if r := s.Weather(); r.Servers != 999 {
+		t.Fatalf("within TTL the cache must serve: %+v", r)
+	}
+
+	// A registry event invalidates despite the 1h TTL.
+	s.MarkSeen("a", protocol.PollOK{UsedPE: 100})
+	if r := s.Weather(); r.Servers != 1 || r.GridUtilization != 1.0 {
+		t.Fatalf("after MarkSeen: %+v", r)
+	}
+
+	// A settlement invalidates too: the new contract shows up at once.
+	s.weatherMu.Lock()
+	s.weatherRep.Servers = 999
+	s.weatherMu.Unlock()
+	if err := s.Settle(protocol.SettleReq{JobID: "jx", User: "u", Server: "a", Price: 20, CPUSeconds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Weather(); r.Servers != 1 || r.Contracts != 1 {
+		t.Fatalf("after settle: %+v", r)
+	}
+}

@@ -49,6 +49,20 @@ type Client struct {
 	// PoolObs, when set, receives connection-pool lifecycle events
 	// (telemetry.NewPoolMetrics is the standard implementation).
 	PoolObs protocol.PoolObserver
+	// BidConcurrency bounds how many daemons are asked for a bid at
+	// once during Place (zero = market default, min(16, #servers); 1
+	// reproduces the serial walk).
+	BidConcurrency int
+	// BidTimeout is the per-bid deadline: a daemon that has not
+	// answered in time forfeits its bid for this auction instead of
+	// stalling it (zero = no per-bid deadline beyond RPCTimeout).
+	BidTimeout time.Duration
+	// Metrics, when set, records the auction fan-out latency histogram
+	// faucets_auction_fanout_seconds.
+	Metrics *telemetry.Registry
+
+	fanoutOnce sync.Once
+	fanoutHist *telemetry.Histogram
 
 	poolOnce sync.Once
 	pool     *protocol.Pool
@@ -73,6 +87,18 @@ func (c *Client) rpcPool() *protocol.Pool {
 // after Close: subsequent calls fail with protocol.ErrPoolClosed.
 func (c *Client) Close() {
 	c.rpcPool().Close()
+}
+
+// fanout lazily resolves the auction fan-out histogram (nil when no
+// Metrics registry is attached).
+func (c *Client) fanout() *telemetry.Histogram {
+	c.fanoutOnce.Do(func() {
+		if c.Metrics != nil {
+			c.fanoutHist = c.Metrics.Histogram("faucets_auction_fanout_seconds",
+				"Latency of one request-for-bids broadcast (market.Solicit).", nil)
+		}
+	})
+	return c.fanoutHist
 }
 
 // Login authenticates with the Central Server and returns a session.
@@ -234,7 +260,14 @@ func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placemen
 	// Solicit and commit separately (rather than market.Award) so the
 	// winning bid is traced before the commit round records the contract
 	// span on the daemon — keeping the chain in causal order.
-	bids := market.Solicit(0, ports, contract, crit)
+	solStart := time.Now()
+	bids := market.SolicitWith(0, ports, contract, crit, market.SolicitOpts{
+		Concurrency: c.BidConcurrency,
+		Timeout:     c.BidTimeout,
+	})
+	if h := c.fanout(); h != nil {
+		h.Observe(time.Since(solStart).Seconds())
+	}
 	if len(bids) > 0 {
 		c.Tracer.Record(jobID, telemetry.SpanBid, fmt.Sprintf("best of %d bids: %s at price %.2f", len(bids), bids[0].Server, bids[0].Price))
 	}

@@ -555,6 +555,13 @@ func (d *Daemon) flushSettlements() {
 		}
 		var remote *protocol.RemoteError
 		if errors.As(err, &remote) {
+			if remote.Retryable {
+				// Delivered, accepted in principle, but the central could
+				// not make it durable (e.g. a WAL failure). Keep it
+				// queued: redelivery is idempotent on the central's side.
+				log.Printf("daemon %s: settlement %s deferred by central: %v", d.Name(), req.JobID, err)
+				continue
+			}
 			// Delivered but refused: retrying unchanged cannot succeed,
 			// so drop it rather than poison the queue forever.
 			log.Printf("daemon %s: settlement %s refused: %v", d.Name(), req.JobID, err)

@@ -137,8 +137,9 @@ func (d *DB) Durable() bool {
 // PutJob inserts or replaces a job row.
 func (d *DB) PutJob(r JobRecord) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opPutJob, Job: &r})
+	b := d.applyLocked(walRecord{Op: opPutJob, Job: &r})
+	d.mu.Unlock()
+	d.waitDurable(b)
 }
 
 // GetJob fetches a job row.
@@ -155,41 +156,48 @@ func (d *DB) GetJob(id string) (JobRecord, error) {
 // UpdateJob applies fn to an existing row under the lock.
 func (d *DB) UpdateJob(id string, fn func(*JobRecord)) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	r, ok := d.data.Jobs[id]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	fn(&r)
-	d.applyLocked(walRecord{Op: opPutJob, Job: &r})
+	b := d.applyLocked(walRecord{Op: opPutJob, Job: &r})
+	d.mu.Unlock()
+	d.waitDurable(b)
 	return nil
 }
 
+// jobLess is the canonical job ordering: submit time, then ID.
+func jobLess(a, b JobRecord) bool {
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
 // ListJobs returns rows matching the filter (nil matches all), sorted by
-// submit time then ID.
+// submit time then ID. The result is sized up front so the append loop
+// never reallocates mid-scan.
 func (d *DB) ListJobs(match func(JobRecord) bool) []JobRecord {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	var out []JobRecord
+	out := make([]JobRecord, 0, len(d.data.Jobs))
 	for _, r := range d.data.Jobs {
 		if match == nil || match(r) {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].SubmitTime != out[j].SubmitTime {
-			return out[i].SubmitTime < out[j].SubmitTime
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Slice(out, func(i, j int) bool { return jobLess(out[i], out[j]) })
 	return out
 }
 
 // PutUser inserts or replaces a user profile.
 func (d *DB) PutUser(r UserRecord) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opPutUser, User: &r})
+	b := d.applyLocked(walRecord{Op: opPutUser, User: &r})
+	d.mu.Unlock()
+	d.waitDurable(b)
 }
 
 // GetUser fetches a user profile.
@@ -215,9 +223,11 @@ func (d *DB) Credits(cluster string) float64 {
 // balance.
 func (d *DB) AddCredits(cluster string, delta float64) float64 {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opAddCredits, Key: cluster, Amount: delta})
-	return d.data.Credits[cluster]
+	b := d.applyLocked(walRecord{Op: opAddCredits, Key: cluster, Amount: delta})
+	v := d.data.Credits[cluster]
+	d.mu.Unlock()
+	d.waitDurable(b)
+	return v
 }
 
 // TransferCredits moves amount from one cluster to another atomically —
@@ -229,9 +239,9 @@ func (d *DB) TransferCredits(from, to string, amount float64) error {
 		return fmt.Errorf("db: negative transfer %v", amount)
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opTransfer, Key: from, To: to, Amount: amount})
-	return nil
+	b := d.applyLocked(walRecord{Op: opTransfer, Key: from, To: to, Amount: amount})
+	d.mu.Unlock()
+	return d.waitDurable(b)
 }
 
 // TotalCredits sums every balance — zero by construction under pure
@@ -257,9 +267,11 @@ func (d *DB) Quota(user string) float64 {
 // down) and returns the new balance.
 func (d *DB) AddQuota(user string, delta float64) float64 {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opAddQuota, Key: user, Amount: delta})
-	return d.data.Quotas[user]
+	b := d.applyLocked(walRecord{Op: opAddQuota, Key: user, Amount: delta})
+	v := d.data.Quotas[user]
+	d.mu.Unlock()
+	d.waitDurable(b)
+	return v
 }
 
 // Revenue returns a server's cumulative income (Dollars/SU modes).
@@ -272,8 +284,9 @@ func (d *DB) Revenue(server string) float64 {
 // AddRevenue books income for a server.
 func (d *DB) AddRevenue(server string, amount float64) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opAddRevenue, Key: server, Amount: amount})
+	b := d.applyLocked(walRecord{Op: opAddRevenue, Key: server, Amount: amount})
+	d.mu.Unlock()
+	d.waitDurable(b)
 }
 
 // Spend returns a user's cumulative payments (§5.5.4 fair usage).
@@ -286,8 +299,9 @@ func (d *DB) Spend(user string) float64 {
 // AddSpend accumulates a user's payments.
 func (d *DB) AddSpend(user string, amount float64) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opAddSpend, Key: user, Amount: amount})
+	b := d.applyLocked(walRecord{Op: opAddSpend, Key: user, Amount: amount})
+	d.mu.Unlock()
+	d.waitDurable(b)
 }
 
 // Settled reports whether a job's settlement has already been applied.
@@ -302,11 +316,13 @@ func (d *DB) Settled(jobID string) bool {
 // idempotent under daemon outbox redelivery.
 func (d *DB) MarkSettled(jobID string) bool {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.data.Settled[jobID] {
+		d.mu.Unlock()
 		return false
 	}
-	d.applyLocked(walRecord{Op: opMarkSettled, JobID: jobID})
+	b := d.applyLocked(walRecord{Op: opMarkSettled, JobID: jobID})
+	d.mu.Unlock()
+	d.waitDurable(b)
 	return true
 }
 
@@ -320,8 +336,9 @@ func (d *DB) SettledCount() int {
 // AppendContract records a settled contract in the market history.
 func (d *DB) AppendContract(r ContractRecord) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.applyLocked(walRecord{Op: opContract, Contract: &r})
+	b := d.applyLocked(walRecord{Op: opContract, Contract: &r})
+	d.mu.Unlock()
+	d.waitDurable(b)
 }
 
 // RecentContracts returns up to limit settled contracts matching the

@@ -2,6 +2,7 @@ package db
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -204,4 +205,23 @@ func TestConcurrentAccess(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o600)
+}
+
+// TestListJobsAllocBound pins the listing path's allocation profile: one
+// pre-sized result slice plus sort.Slice's fixed overhead, independent
+// of row count. A regression to append-growth or a per-row comparator
+// allocation shows up as a count scaling with the table size.
+func TestListJobsAllocBound(t *testing.T) {
+	d := New()
+	for i := 0; i < 256; i++ {
+		d.PutJob(JobRecord{ID: fmt.Sprintf("j-%03d", i), SubmitTime: float64(i % 17)})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := d.ListJobs(nil); len(got) != 256 {
+			t.Fatalf("rows=%d", len(got))
+		}
+	})
+	if allocs > 6 {
+		t.Fatalf("ListJobs allocates %v times per call over 256 rows, want a small constant", allocs)
+	}
 }

@@ -1,0 +1,47 @@
+// WAL durability metrics. The database itself stays dependency-light:
+// the group-commit path reports through two plain function hooks, and
+// this file is the only place that binds them to telemetry instruments.
+package db
+
+import "faucets/internal/telemetry"
+
+// groupCommitBuckets sizes the batch histogram: powers of two up to the
+// largest batch a busy settle burst plausibly accumulates during one
+// fsync.
+var groupCommitBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Instrument registers the WAL durability metrics on reg and wires them
+// into the group-commit path:
+//
+//	faucets_db_wal_sync_total          — group fsyncs performed
+//	faucets_db_group_commit_batch_size — records amortized per fsync
+//	faucets_db_wal_append_errors_total — records whose durability failed
+//
+// No-op on an ephemeral database or a nil registry. Safe to call again
+// after a reopen (registration is idempotent by name).
+func (d *DB) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return
+	}
+	syncs := reg.Counter("faucets_db_wal_sync_total",
+		"WAL group-commit fsync batches written.")
+	sizes := reg.Histogram("faucets_db_group_commit_batch_size",
+		"Records made durable per WAL group-commit fsync.", groupCommitBuckets)
+	errs := reg.Counter("faucets_db_wal_append_errors_total",
+		"WAL records whose append or fsync failed; their durability is unconfirmed.")
+	w := d.wal
+	w.cmu.Lock()
+	w.onSync = func(records int) {
+		syncs.Inc()
+		sizes.Observe(float64(records))
+	}
+	w.onErr = func(records int) {
+		errs.Add(uint64(records))
+	}
+	w.cmu.Unlock()
+}

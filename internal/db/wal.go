@@ -27,6 +27,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 )
 
 // WAL operation codes.
@@ -60,10 +62,40 @@ type walRecord struct {
 	Recs   []walRecord `json:"recs,omitempty"`
 }
 
-// walWriter appends records to the log file.
+// walBatch is one group commit in flight: every record staged while the
+// previous fsync was running shares a batch, and every staging goroutine
+// waits on the same done channel. err is set before done closes, so the
+// close is the happens-before edge that publishes it.
+type walBatch struct {
+	w    *walWriter
+	done chan struct{}
+	err  error
+}
+
+// walWriter appends records to the log file using group commit: callers
+// stage marshaled records under the database lock (enqueue) and then
+// wait for durability outside it (commitWait). The first waiter becomes
+// the leader and writes+fsyncs the whole accumulated batch in one pass;
+// followers park on the batch's done channel. One slow fsync therefore
+// covers every record that arrived while it ran, instead of each record
+// paying its own.
 type walWriter struct {
 	f    *os.File
 	path string
+
+	// cmu guards the staging state below. Lock order: d.mu → cmu
+	// (enqueue runs under both; commitWait takes cmu alone).
+	cmu     sync.Mutex
+	cond    *sync.Cond // broadcast when leadership is released
+	window  time.Duration
+	leader  bool
+	pending []byte    // marshaled records awaiting write+fsync
+	npend   int       // record count in pending
+	batch   *walBatch // batch the pending records belong to
+
+	// Metric hooks (nil until DB.Instrument wires them).
+	onSync func(records int) // after each successful group fsync
+	onErr  func(records int) // records whose durability failed
 }
 
 func openWALWriter(path string) (*walWriter, error) {
@@ -71,17 +103,123 @@ func openWALWriter(path string) (*walWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("db: open wal: %w", err)
 	}
-	return &walWriter{f: f, path: path}, nil
+	w := &walWriter{f: f, path: path}
+	w.cond = sync.NewCond(&w.cmu)
+	return w, nil
 }
 
-func (w *walWriter) append(rec walRecord) error {
+// enqueue marshals rec into the pending buffer and returns the batch
+// handle to wait on with commitWait. The caller must hold the database
+// lock, which is what keeps the buffer in sequence-number order: the
+// record is staged before the lock is released, so a later sequence
+// number can never land in the file ahead of an earlier one.
+func (w *walWriter) enqueue(rec walRecord) (*walBatch, error) {
 	blob, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("db: marshal wal record: %w", err)
+		return nil, fmt.Errorf("db: marshal wal record: %w", err)
 	}
-	blob = append(blob, '\n')
+	w.cmu.Lock()
+	if w.batch == nil {
+		w.batch = &walBatch{w: w, done: make(chan struct{})}
+	}
+	w.pending = append(w.pending, blob...)
+	w.pending = append(w.pending, '\n')
+	w.npend++
+	b := w.batch
+	w.cmu.Unlock()
+	return b, nil
+}
+
+// commitWait blocks until b's records are written and fsync'd, electing
+// this goroutine as the batch leader if none is active. Must be called
+// without the database lock.
+func (w *walWriter) commitWait(b *walBatch) error {
+	w.cmu.Lock()
+	for {
+		select {
+		case <-b.done:
+			w.cmu.Unlock()
+			return b.err
+		default:
+		}
+		if w.leader {
+			// Another goroutine is flushing; its drain loop runs until
+			// nothing is pending, so our batch is guaranteed to close.
+			w.cmu.Unlock()
+			<-b.done
+			return b.err
+		}
+		w.leader = true
+		if w.window > 0 {
+			// Optional accumulation window: give concurrent mutators a
+			// beat to pile onto this batch before paying the fsync.
+			w.cmu.Unlock()
+			time.Sleep(w.window)
+			w.cmu.Lock()
+		}
+		w.flushLocked()
+		w.leader = false
+		w.cond.Broadcast()
+		w.cmu.Unlock()
+		<-b.done
+		return b.err
+	}
+}
+
+// flushLocked writes and fsyncs every pending batch, looping until the
+// buffer is empty so no waiter is left parked when leadership releases.
+// Caller holds cmu; the lock is dropped around the disk I/O.
+func (w *walWriter) flushLocked() {
+	for w.npend > 0 {
+		blob, n, batch := w.pending, w.npend, w.batch
+		w.pending, w.npend, w.batch = nil, 0, nil
+		onSync, onErr := w.onSync, w.onErr
+		w.cmu.Unlock()
+		err := w.writeAndSync(blob)
+		if err != nil {
+			log.Printf("db: wal group commit (%d records): %v", n, err)
+			if onErr != nil {
+				onErr(n)
+			}
+		} else if onSync != nil {
+			onSync(n)
+		}
+		batch.err = err
+		close(batch.done)
+		w.cmu.Lock()
+	}
+}
+
+// drain flushes any staged records and returns once no leader is active
+// and nothing is pending. Callers hold the database lock, so no new
+// records can be staged while drain runs — afterwards the file is
+// quiescent and safe to truncate or close.
+func (w *walWriter) drain() {
+	w.cmu.Lock()
+	for {
+		if w.leader {
+			w.cond.Wait()
+			continue
+		}
+		if w.npend == 0 {
+			w.cmu.Unlock()
+			return
+		}
+		// Pending records whose owner has not reached commitWait yet:
+		// flush on their behalf (they will find done already closed).
+		w.leader = true
+		w.flushLocked()
+		w.leader = false
+		w.cond.Broadcast()
+	}
+}
+
+func (w *walWriter) writeAndSync(blob []byte) error {
 	if _, err := w.f.Write(blob); err != nil {
 		return fmt.Errorf("db: append wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("db: sync wal: %w", err)
 	}
 	return nil
 }
@@ -219,28 +357,65 @@ func (d *DB) applyMemLocked(rec walRecord) {
 	}
 }
 
-// applyLocked applies a mutation to memory and logs it durably (when the
-// database was opened with Open; a plain New/Load database skips the
-// log). Caller holds d.mu.
-func (d *DB) applyLocked(rec walRecord) {
+// applyLocked applies a mutation to memory and stages it for durable
+// logging (when the database was opened with Open; a plain New/Load
+// database skips the log). It returns the group-commit batch the caller
+// must wait on with waitDurable after releasing d.mu — nil when there is
+// nothing to wait for. Caller holds d.mu.
+func (d *DB) applyLocked(rec walRecord) *walBatch {
 	d.applyMemLocked(rec)
-	d.logLocked(rec)
+	return d.logLocked(rec)
 }
 
-// logLocked appends one record to the WAL, or to the open batch buffer.
-func (d *DB) logLocked(rec walRecord) {
+// logLocked stages one record for the WAL, or appends it to the open
+// batch buffer. A marshal failure is counted and logged here because the
+// record never reaches the group-commit path that normally reports
+// errors.
+func (d *DB) logLocked(rec walRecord) *walBatch {
 	if d.wal == nil {
-		return
+		return nil
 	}
 	if d.batch != nil {
 		*d.batch = append(*d.batch, rec)
-		return
+		return nil
 	}
 	d.seq++
 	rec.Seq = d.seq
-	if err := d.wal.append(rec); err != nil {
+	b, err := d.wal.enqueue(rec)
+	if err != nil {
 		log.Printf("db: wal append failed: %v", err)
+		if f := d.wal.onErr; f != nil {
+			f(1)
+		}
+		return nil
 	}
+	return b
+}
+
+// waitDurable blocks until a staged record's group commit has fsync'd.
+// Call without holding d.mu. Nil batches (ephemeral database, open batch
+// buffer) return immediately.
+func (d *DB) waitDurable(b *walBatch) error {
+	if b == nil {
+		return nil
+	}
+	return b.w.commitWait(b)
+}
+
+// SetGroupWindow sets the group-commit accumulation window: how long a
+// freshly elected batch leader waits before paying the fsync, letting
+// concurrent mutators pile onto the batch. Zero (the default) flushes
+// immediately — batching then comes only from records that arrive while
+// a previous fsync is in flight. No-op on an ephemeral database.
+func (d *DB) SetGroupWindow(window time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return
+	}
+	d.wal.cmu.Lock()
+	d.wal.window = window
+	d.wal.cmu.Unlock()
 }
 
 // BeginBatch starts buffering WAL records so a multi-mutation operation
@@ -260,24 +435,38 @@ func (d *DB) BeginBatch() {
 	d.batch = &buf
 }
 
-// CommitBatch writes the buffered records as a single atomic WAL line.
-// An empty batch (the operation failed before mutating anything) writes
-// nothing.
-func (d *DB) CommitBatch() {
+// CommitBatch writes the buffered records as a single atomic WAL line
+// and waits for the group commit that makes it durable. An empty batch
+// (the operation failed before mutating anything) writes nothing. The
+// error is the durability verdict for the whole batch: a non-nil return
+// means the mutations are applied in memory but their WAL line is not
+// confirmed on disk, and the caller must not acknowledge the operation
+// to a remote party (the settlement path surfaces this as a retryable
+// RPC error so the daemon's outbox redelivers).
+func (d *DB) CommitBatch() error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.batch == nil {
-		return
+		d.mu.Unlock()
+		return nil
 	}
 	recs := *d.batch
 	d.batch = nil
 	if len(recs) == 0 || d.wal == nil {
-		return
+		d.mu.Unlock()
+		return nil
 	}
 	d.seq++
-	if err := d.wal.append(walRecord{Seq: d.seq, Op: opBatch, Recs: recs}); err != nil {
+	b, err := d.wal.enqueue(walRecord{Seq: d.seq, Op: opBatch, Recs: recs})
+	if err != nil {
+		if f := d.wal.onErr; f != nil {
+			f(1)
+		}
+		d.mu.Unlock()
 		log.Printf("db: wal batch append failed: %v", err)
+		return err
 	}
+	d.mu.Unlock()
+	return d.waitDurable(b)
 }
 
 // Compact folds the WAL into a fresh snapshot: atomic snapshot write
@@ -299,6 +488,10 @@ func (d *DB) Compact() error {
 		return err
 	}
 	if d.wal != nil {
+		// Quiesce in-flight group commits before truncating: d.mu (held)
+		// stops new records being staged, drain flushes what is already
+		// staged and waits out any active leader.
+		d.wal.drain()
 		if err := d.wal.reset(); err != nil {
 			return err
 		}
@@ -317,6 +510,7 @@ func (d *DB) Close() error {
 	if d.wal == nil {
 		return nil
 	}
+	d.wal.drain()
 	if err := d.wal.sync(); err != nil {
 		d.wal.close()
 		d.wal = nil

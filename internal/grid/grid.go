@@ -64,6 +64,17 @@ type Options struct {
 	PoolSize int
 	// SettleRetry is the daemons' settlement-outbox redelivery cadence.
 	SettleRetry time.Duration
+	// BidConcurrency bounds every client's bid fan-out during Place
+	// (the in-process -bid-concurrency; zero = market default).
+	BidConcurrency int
+	// BidTimeout is the clients' per-bid deadline: a hung daemon
+	// forfeits its bid instead of stalling the auction (the in-process
+	// -bid-timeout; zero = none).
+	BidTimeout time.Duration
+	// WALGroupWindow is the Central Server database's group-commit
+	// accumulation window (the in-process -wal-group-window; zero =
+	// flush immediately). Only meaningful with StateDir.
+	WALGroupWindow time.Duration
 	// ReRegister is the daemons' Central Server heartbeat cadence, so a
 	// restarted FS rebuilds its directory quickly in tests.
 	ReRegister time.Duration
@@ -246,6 +257,7 @@ func (g *Grid) newCentral() (*central.Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		store.SetGroupWindow(g.opts.WALGroupWindow)
 		fs = central.NewWithDB(g.opts.Mode, store)
 	} else {
 		fs = central.New(g.opts.Mode)
@@ -368,6 +380,11 @@ func (g *Grid) Login(user, password string) (*client.Client, error) {
 	c.AppSpectorAddr = g.AppSpectorAddr
 	c.Tracer = g.Tracer
 	c.PoolSize = g.opts.PoolSize
+	c.BidConcurrency = g.opts.BidConcurrency
+	c.BidTimeout = g.opts.BidTimeout
+	// Clients share the Central Server's registry, so the auction
+	// fan-out histogram lands next to the rest of the grid's metrics.
+	c.Metrics = g.Central.Metrics
 	return c, nil
 }
 

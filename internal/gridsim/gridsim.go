@@ -557,7 +557,9 @@ func (g *gridRun) submit(now float64, it workload.Item) {
 	if g.cfg.HomeFirst && home != "" {
 		if hs, ok := g.byName[home]; ok {
 			ports := []market.ServerPort{hs}
-			bids := market.Solicit(now, ports, it.Contract, g.cfg.Criterion)
+			// Serial path: sim entities run on the engine goroutine and
+			// are not safe for the concurrent fan-out.
+			bids := market.SolicitSerial(now, ports, it.Contract, g.cfg.Criterion)
 			if len(bids) > 0 {
 				prompt := now + it.Contract.ExecTime(it.Contract.MinPE, hs.sched.Spec().Speed)
 				if bids[0].EstCompletion <= prompt+1e-9 {
@@ -573,7 +575,7 @@ func (g *gridRun) submit(now float64, it workload.Item) {
 	for i, s := range candidates {
 		ports[i] = s
 	}
-	bids := market.Solicit(now, ports, it.Contract, g.cfg.Criterion)
+	bids := market.SolicitSerial(now, ports, it.Contract, g.cfg.Criterion)
 	if g.cfg.CommitDelay <= 0 {
 		res, err := market.CommitRanked(now, ports, bids, it.ID, g.cfg.SinglePhase)
 		g.finishAward(now, it, j, res, err)

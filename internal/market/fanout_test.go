@@ -1,0 +1,87 @@
+package market
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faucets/internal/bidding"
+	"faucets/internal/qos"
+)
+
+// slowServer bids after a fixed delay.
+type slowServer struct {
+	fakeServer
+	delay time.Duration
+	asked atomic.Int32
+}
+
+func (s *slowServer) RequestBid(now float64, c *qos.Contract) (bidding.Bid, bool) {
+	s.asked.Add(1)
+	time.Sleep(s.delay)
+	return s.fakeServer.RequestBid(now, c)
+}
+
+// TestSolicitParallelMatchesSerial: the concurrent fan-out must return
+// exactly the serial walk's ranking for every concurrency level,
+// including criterion ties (broken by server name) and declining
+// servers.
+func TestSolicitParallelMatchesSerial(t *testing.T) {
+	servers := ports(
+		srv("delta", 20, 5), srv("alpha", 10, 9), srv("echo", 10, 9),
+		srv("bravo", 10, 9), srv("golf", 30, 1), srv("charlie", 20, 5),
+	)
+	servers = append(servers, &fakeServer{name: "mute", declines: true})
+	c, crit := contract(), LeastCost{}
+	want := SolicitSerial(0, servers, c, crit)
+	if len(want) != 6 {
+		t.Fatalf("serial bids = %d, want 6", len(want))
+	}
+	for _, conc := range []int{0, 1, 2, 3, 16, 64} {
+		got := SolicitWith(0, servers, c, crit, SolicitOpts{Concurrency: conc})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("concurrency %d diverged:\n got %+v\nwant %+v", conc, got, want)
+		}
+	}
+	// The default entry point is the parallel path.
+	if got := Solicit(0, servers, c, crit); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Solicit diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSolicitTieBreakIsDeterministic: equal bids rank by server name,
+// so arrival order (which the parallel path does not control) never
+// shows through.
+func TestSolicitTieBreakIsDeterministic(t *testing.T) {
+	servers := ports(srv("c", 10, 5), srv("a", 10, 5), srv("b", 10, 5))
+	bids := Solicit(0, servers, contract(), LeastCost{})
+	if len(bids) != 3 || bids[0].Server != "a" || bids[1].Server != "b" || bids[2].Server != "c" {
+		t.Fatalf("tie-break order wrong: %+v", bids)
+	}
+}
+
+// TestSolicitTimeoutForfeitsSlowBid: a server that cannot answer within
+// the per-bid deadline loses its bid; the rest of the auction is
+// unaffected and completes near the deadline, not the straggler's
+// response time.
+func TestSolicitTimeoutForfeitsSlowBid(t *testing.T) {
+	slow := &slowServer{delay: 2 * time.Second}
+	slow.fakeServer = *srv("sloth", 1, 1) // best price — would win if heard
+	servers := append(ports(srv("a", 10, 5), srv("b", 20, 5)), slow)
+
+	start := time.Now()
+	bids := SolicitWith(0, servers, contract(), LeastCost{},
+		SolicitOpts{Concurrency: 3, Timeout: 50 * time.Millisecond})
+	elapsed := time.Since(start)
+
+	if len(bids) != 2 || bids[0].Server != "a" || bids[1].Server != "b" {
+		t.Fatalf("bids = %+v, want a,b with sloth forfeited", bids)
+	}
+	if slow.asked.Load() != 1 {
+		t.Fatalf("slow server asked %d times, want 1", slow.asked.Load())
+	}
+	if elapsed > time.Second {
+		t.Fatalf("solicit took %v, the straggler stalled it", elapsed)
+	}
+}

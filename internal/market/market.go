@@ -13,6 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"faucets/internal/bidding"
 	"faucets/internal/qos"
@@ -94,19 +97,144 @@ var (
 	ErrExpired  = errors.New("market: bid expired before commit")
 )
 
+// SolicitOpts tunes the request-for-bids fan-out.
+type SolicitOpts struct {
+	// Concurrency bounds the number of in-flight RequestBid calls.
+	// <= 0 selects the default, min(16, len(servers)); 1 degenerates to
+	// the serial walk.
+	Concurrency int
+	// Timeout bounds each individual RequestBid. A server that has not
+	// answered within the deadline forfeits its bid for this auction —
+	// one hung daemon must not stall the whole broadcast. <= 0 disables
+	// the per-bid deadline (the transport's own deadline still applies).
+	Timeout time.Duration
+}
+
+// DefaultFanout is the concurrency cap used when SolicitOpts.Concurrency
+// is unset: min(DefaultFanout, len(servers)).
+const DefaultFanout = 16
+
+// rankBids orders bids best-first under the criterion with a server-name
+// tie-break. The tie-break makes the ranking a total order over any bid
+// set with distinct servers, so the result is independent of arrival
+// order — parallel and serial solicitation of the same bid set produce
+// byte-identical rankings.
+func rankBids(bids []bidding.Bid, crit Criterion) {
+	sort.SliceStable(bids, func(i, j int) bool {
+		a, b := bids[i], bids[j]
+		if crit.Less(a, b) {
+			return true
+		}
+		if crit.Less(b, a) {
+			return false
+		}
+		return a.Server < b.Server
+	})
+}
+
 // Solicit broadcasts a request-for-bids to the given servers and returns
-// all offers, stably sorted best-first under the criterion. The number of
-// servers contacted equals len(servers) — the caller (or the Faucets
-// Central Server's filters, §5.1) is responsible for pre-screening.
+// all offers, stably sorted best-first under the criterion (server name
+// breaks criterion ties). The number of servers contacted equals
+// len(servers) — the caller (or the Faucets Central Server's filters,
+// §5.1) is responsible for pre-screening. Requests fan out concurrently
+// under SolicitOpts defaults; ports must therefore be safe for
+// concurrent RequestBid calls (wire ports are; single-threaded
+// simulation entities should use SolicitSerial).
 func Solicit(now float64, servers []ServerPort, c *qos.Contract, crit Criterion) []bidding.Bid {
+	return SolicitWith(now, servers, c, crit, SolicitOpts{})
+}
+
+// SolicitSerial is the sequential request-for-bids walk: one server at a
+// time, no per-bid deadline. It exists for callers whose ports are not
+// safe for concurrent use (the simulation drives entities from a single
+// goroutine) and as the reference implementation the parallel path must
+// match bid-for-bid.
+func SolicitSerial(now float64, servers []ServerPort, c *qos.Contract, crit Criterion) []bidding.Bid {
 	bids := make([]bidding.Bid, 0, len(servers))
 	for _, s := range servers {
 		if b, ok := s.RequestBid(now, c); ok {
 			bids = append(bids, b)
 		}
 	}
-	sort.SliceStable(bids, func(i, j int) bool { return crit.Less(bids[i], bids[j]) })
+	rankBids(bids, crit)
 	return bids
+}
+
+// SolicitWith is Solicit with explicit fan-out options. Bids are
+// collected into per-server slots so the pre-sort order equals the input
+// server order regardless of reply timing; with the name tie-break in
+// the ranking, awards are deterministic for seeded workloads.
+func SolicitWith(now float64, servers []ServerPort, c *qos.Contract, crit Criterion, opts SolicitOpts) []bidding.Bid {
+	n := len(servers)
+	if n == 0 {
+		return nil
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = DefaultFanout
+	}
+	if conc > n {
+		conc = n
+	}
+	if conc == 1 && opts.Timeout <= 0 {
+		return SolicitSerial(now, servers, c, crit)
+	}
+	slots := make([]bidding.Bid, n)
+	got := make([]bool, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if b, ok := requestBidTimeout(now, servers[i], c, opts.Timeout); ok {
+					slots[i], got[i] = b, true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	bids := make([]bidding.Bid, 0, n)
+	for i, ok := range got {
+		if ok {
+			bids = append(bids, slots[i])
+		}
+	}
+	rankBids(bids, crit)
+	return bids
+}
+
+// requestBidTimeout runs one RequestBid under an optional deadline. On
+// timeout the server forfeits: the call is abandoned (the goroutine
+// drains into a buffered channel and the transport's own deadline
+// eventually reaps the underlying RPC) and the auction proceeds without
+// that bid.
+func requestBidTimeout(now float64, s ServerPort, c *qos.Contract, d time.Duration) (bidding.Bid, bool) {
+	if d <= 0 {
+		return s.RequestBid(now, c)
+	}
+	type reply struct {
+		b  bidding.Bid
+		ok bool
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		b, ok := s.RequestBid(now, c)
+		ch <- reply{b, ok}
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.b, r.ok
+	case <-t.C:
+		return bidding.Bid{}, false
+	}
 }
 
 // AwardResult describes a completed auction.

@@ -131,7 +131,7 @@ func Call(rw io.ReadWriter, reqType string, req any, wantReply string, reply any
 	if f.Type == TypeError {
 		var e ErrorBody
 		_ = Decode(f, TypeError, &e)
-		return &RemoteError{Message: e.Message}
+		return &RemoteError{Message: e.Message, Retryable: e.Retryable}
 	}
 	return Decode(f, wantReply, reply)
 }
@@ -139,6 +139,12 @@ func Call(rw io.ReadWriter, reqType string, req any, wantReply string, reply any
 // WriteError sends a TypeError frame describing a failure.
 func WriteError(w io.Writer, msg string) error {
 	return WriteFrame(w, TypeError, ErrorBody{Message: msg})
+}
+
+// WriteErrorFrom sends a TypeError frame for err, carrying the
+// retryable mark (see MarkRetryable) onto the wire.
+func WriteErrorFrom(w io.Writer, err error) error {
+	return WriteFrame(w, TypeError, ErrorBody{Message: err.Error(), Retryable: IsRetryable(err)})
 }
 
 // ReplyConn wraps a server-side connection so reply frames echo the ID

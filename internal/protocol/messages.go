@@ -62,9 +62,12 @@ const (
 	TypeWatchEnd      = "watch_end"
 )
 
-// ErrorBody carries a remote failure description.
+// ErrorBody carries a remote failure description. Retryable marks a
+// transient server-side failure (the request itself was acceptable);
+// absent on the wire it decodes false, so old peers interoperate.
 type ErrorBody struct {
-	Message string `json:"message"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable,omitempty"`
 }
 
 // AuthReq authenticates a user to the Faucets Central Server with a

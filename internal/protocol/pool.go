@@ -448,7 +448,7 @@ func (pc *poolConn) call(timeout time.Duration, reqType string, req any, wantRep
 		if res.f.Type == TypeError {
 			var e ErrorBody
 			_ = Decode(res.f, TypeError, &e)
-			return &RemoteError{Message: e.Message}
+			return &RemoteError{Message: e.Message, Retryable: e.Retryable}
 		}
 		return Decode(res.f, wantReply, reply)
 	case <-timer.C:

@@ -63,11 +63,15 @@ func Timeout(d time.Duration) time.Duration {
 }
 
 // RemoteError is a failure reported by the peer: the request was
-// delivered and refused, so retrying it unchanged cannot succeed.
-// Transport failures (dial, deadline, broken pipe) are never
-// RemoteErrors.
+// delivered and refused. Unless Retryable is set, retrying the request
+// unchanged cannot succeed. Retryable marks refusals whose cause is
+// transient on the peer's side — a durability (WAL) failure, say — so
+// the same request may well succeed later and outbox-style senders
+// should keep it queued. Transport failures (dial, deadline, broken
+// pipe) are never RemoteErrors.
 type RemoteError struct {
-	Message string
+	Message   string
+	Retryable bool
 }
 
 func (e *RemoteError) Error() string {
@@ -75,6 +79,35 @@ func (e *RemoteError) Error() string {
 		return "protocol: unspecified remote error"
 	}
 	return "protocol: remote error: " + e.Message
+}
+
+// retryableMark wraps a server-side error whose cause is transient, so
+// the TypeError frame written for it (WriteErrorFrom) carries
+// Retryable=true.
+type retryableMark struct{ err error }
+
+func (m *retryableMark) Error() string { return m.err.Error() }
+func (m *retryableMark) Unwrap() error { return m.err }
+
+// MarkRetryable marks err as transient: the refusal written onto the
+// wire tells the caller the same request may succeed later. Nil stays
+// nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableMark{err: err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) carries the
+// retryable mark or is itself a retryable RemoteError.
+func IsRetryable(err error) bool {
+	var m *retryableMark
+	if errors.As(err, &m) {
+		return true
+	}
+	var remote *RemoteError
+	return errors.As(err, &remote) && remote.Retryable
 }
 
 // Dial connects to addr within timeout (zero = DefaultCallTimeout).

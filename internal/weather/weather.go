@@ -14,6 +14,7 @@ package weather
 
 import (
 	"fmt"
+	"sync"
 
 	"faucets/internal/db"
 )
@@ -87,6 +88,81 @@ func Compute(now float64, usedPE, totalPE, servers int, store *db.DB) Report {
 		r.BucketMultipliers[b] = s / float64(bucketN[b])
 	}
 	return r
+}
+
+// aggEntry is one contract's contribution to the sliding window.
+type aggEntry struct {
+	bucket string
+	mult   float64
+}
+
+// Aggregate incrementally maintains the contract-price statistics of
+// the last Window settled contracts, so a weather report is O(1) in
+// history length instead of a full rescan per request. It is a ring of
+// the window's entries plus running sums; Add evicts the oldest entry
+// once the window is full. Safe for concurrent use.
+type Aggregate struct {
+	mu   sync.Mutex
+	ring [Window]aggEntry
+	n    int // populated entries (≤ Window)
+	next int // ring write cursor
+	sum  float64
+	bSum map[string]float64
+	bN   map[string]int
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{bSum: map[string]float64{}, bN: map[string]int{}}
+}
+
+// Add records one settled contract (oldest-first when replaying
+// history), evicting the window's oldest entry once full.
+func (a *Aggregate) Add(maxPE int, multiplier float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == Window {
+		old := a.ring[a.next]
+		a.sum -= old.mult
+		a.bSum[old.bucket] -= old.mult
+		if a.bN[old.bucket]--; a.bN[old.bucket] == 0 {
+			delete(a.bSum, old.bucket)
+			delete(a.bN, old.bucket)
+		}
+	} else {
+		a.n++
+	}
+	b := Bucket(maxPE)
+	a.ring[a.next] = aggEntry{bucket: b, mult: multiplier}
+	a.next = (a.next + 1) % Window
+	a.sum += multiplier
+	a.bSum[b] += multiplier
+	a.bN[b]++
+}
+
+// Seed replays settled contracts into the aggregate, oldest first —
+// the boot path, fed from the database's recent history.
+func (a *Aggregate) Seed(recs []db.ContractRecord) {
+	for _, c := range recs {
+		a.Add(c.MaxPE, c.Multiplier)
+	}
+}
+
+// Fill completes a report's contract statistics from the aggregate; the
+// fleet fields (utilization, servers, PEs) are the caller's to set. The
+// result matches Compute over the same window of contracts.
+func (a *Aggregate) Fill(r *Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 {
+		return
+	}
+	r.Contracts = a.n
+	r.MeanMultiplier = a.sum / float64(a.n)
+	r.BucketMultipliers = make(map[string]float64, len(a.bSum))
+	for b, s := range a.bSum {
+		r.BucketMultipliers[b] = s / float64(a.bN[b])
+	}
 }
 
 func (r Report) String() string {

@@ -72,3 +72,64 @@ func TestComputeWindowLimit(t *testing.T) {
 		t.Fatalf("old contracts leaked into the window: mean=%v", r.MeanMultiplier)
 	}
 }
+
+// TestAggregateMatchesCompute: the incrementally maintained aggregate
+// must report the same price statistics as a full Compute rescan at
+// every point along a stream longer than the window, so eviction of the
+// oldest entry is exercised repeatedly.
+func TestAggregateMatchesCompute(t *testing.T) {
+	store := db.New()
+	agg := NewAggregate()
+	for i := 0; i < Window*2+37; i++ {
+		// Deterministic spread across all three buckets and a drifting
+		// multiplier, so bucket membership keeps changing as entries age
+		// out of the window.
+		c := db.ContractRecord{
+			MaxPE:      []int{2, 8, 16, 64, 65, 400}[i%6],
+			Multiplier: 1 + float64(i%13)*0.25,
+		}
+		store.AppendContract(c)
+		agg.Add(c.MaxPE, c.Multiplier)
+
+		want := Compute(float64(i), 10, 100, 3, store)
+		got := Report{Time: float64(i), Servers: 3, TotalPE: 100, GridUtilization: 0.1}
+		agg.Fill(&got)
+		if got.Contracts != want.Contracts {
+			t.Fatalf("step %d: contracts=%d want %d", i, got.Contracts, want.Contracts)
+		}
+		if math.Abs(got.MeanMultiplier-want.MeanMultiplier) > 1e-9 {
+			t.Fatalf("step %d: mean=%v want %v", i, got.MeanMultiplier, want.MeanMultiplier)
+		}
+		if len(got.BucketMultipliers) != len(want.BucketMultipliers) {
+			t.Fatalf("step %d: buckets=%v want %v", i, got.BucketMultipliers, want.BucketMultipliers)
+		}
+		for b, w := range want.BucketMultipliers {
+			if math.Abs(got.BucketMultipliers[b]-w) > 1e-9 {
+				t.Fatalf("step %d: bucket %s=%v want %v", i, b, got.BucketMultipliers[b], w)
+			}
+		}
+	}
+}
+
+// TestAggregateSeedMatchesCompute: booting the aggregate from recorded
+// history (oldest first, the Central Server's recovery path) must land
+// on the same statistics as a fresh Compute.
+func TestAggregateSeedMatchesCompute(t *testing.T) {
+	store := db.New()
+	for i := 0; i < Window+20; i++ {
+		store.AppendContract(db.ContractRecord{MaxPE: 1 + i%80, Multiplier: 1 + float64(i%7)*0.5})
+	}
+	recent := store.RecentContracts(nil, Window)
+	// RecentContracts is newest-first; Seed wants chronological order.
+	for i, j := 0, len(recent)-1; i < j; i, j = i+1, j-1 {
+		recent[i], recent[j] = recent[j], recent[i]
+	}
+	agg := NewAggregate()
+	agg.Seed(recent)
+	want := Compute(0, 0, 0, 0, store)
+	var got Report
+	agg.Fill(&got)
+	if got.Contracts != want.Contracts || math.Abs(got.MeanMultiplier-want.MeanMultiplier) > 1e-9 {
+		t.Fatalf("seeded aggregate %+v, want %+v", got, want)
+	}
+}

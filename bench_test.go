@@ -187,6 +187,62 @@ func BenchmarkProtocolFrameRoundTrip(b *testing.B) {
 	}
 }
 
+// solicitEncodeBody is the request every auction fan-out sends once per
+// candidate server — the hottest encode in the system.
+func solicitEncodeBody() protocol.BidReq {
+	return protocol.BidReq{
+		User:  "alice",
+		Token: "tok-0123456789abcdef",
+		Contract: &qos.Contract{
+			App: "synth", MinPE: 2, MaxPE: 16, Work: 100,
+			Payoff: qos.Payoff{Soft: 300, Hard: 600, AtSoft: 10, AtHard: 2, Penalty: 1},
+			Phases: []qos.Phase{
+				{Name: "setup", Work: 10, MinPE: 1, MaxPE: 4},
+				{Name: "solve", Work: 90, MinPE: 2, MaxPE: 16},
+			},
+		},
+	}
+}
+
+// BenchmarkSolicitEncodeBinary measures the binary wire encoding of one
+// solicit (bid request) frame into a reused buffer. This is the path
+// BENCH_BASELINE.json gates at ≤8 allocs/op via benchgate -allocs; the
+// hand-rolled encoder is expected to be allocation-free once the buffer
+// has grown to frame size.
+func BenchmarkSolicitEncodeBinary(b *testing.B) {
+	body := solicitEncodeBody()
+	buf := make([]byte, 0, 1024)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := protocol.AppendFrame(buf[:0], protocol.CodecBinary, uint64(i)+1, protocol.TypeBidReq, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkSolicitEncodeJSON is the same frame through the legacy JSON
+// codec — the comparison that justifies the binary hot path.
+func BenchmarkSolicitEncodeJSON(b *testing.B) {
+	body := solicitEncodeBody()
+	buf := make([]byte, 0, 1024)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := protocol.AppendFrame(buf[:0], protocol.CodecJSON, uint64(i)+1, protocol.TypeBidReq, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
 func BenchmarkAllocatorAllocRelease(b *testing.B) {
 	al := machine.NewAllocator(1024)
 	b.ReportAllocs()

@@ -16,6 +16,12 @@
 // ns/op exceeds the committed baseline by more than its tolerance. With
 // -baseline "" only the artifact is written — used to mint a new
 // BENCH_BASELINE.json.
+//
+// -allocs gates allocation counts against absolute ceilings rather than
+// the baseline: 'BenchmarkSolicitEncodeBinary=8' fails the build when
+// the named benchmark reports more than 8 allocs/op. Allocation counts
+// are deterministic per build, so unlike ns/op the ceilings need no
+// tolerance and are checked even when -baseline is empty.
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
 	gate := flag.String("gate", "BenchmarkGridSustainedAuctions", "comma-separated benchmark names the gate guards, each optionally name=tolerance")
 	tolerance := flag.Float64("tolerance", 0.15, "default allowed ns/op growth over baseline (0.15 = +15%)")
+	allocs := flag.String("allocs", "", "comma-separated name=N absolute allocs/op ceilings (checked even without -baseline)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -73,6 +80,27 @@ func main() {
 			log.Fatalf("benchgate: %v", err)
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+	}
+
+	for _, a := range strings.Split(*allocs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		i := strings.IndexByte(a, '=')
+		if i < 0 {
+			log.Fatalf("benchgate: -allocs entry %q must be name=N", a)
+		}
+		name := a[:i]
+		max, err := strconv.ParseFloat(a[i+1:], 64)
+		if err != nil {
+			log.Fatalf("benchgate: bad allocs ceiling %q: %v", a, err)
+		}
+		if err := experiments.CheckAllocs(rep, name, max); err != nil {
+			log.Fatalf("benchgate: GATE FAILED: %v", err)
+		}
+		fmt.Printf("gate OK: %s %.0f allocs/op (budget %.0f)\n",
+			name, rep.Results[name].AllocsPerOp, max)
 	}
 
 	if *baseline == "" {

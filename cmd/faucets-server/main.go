@@ -44,7 +44,12 @@ func main() {
 	pollTimeout := flag.Duration("poll-timeout", 3*time.Second, "deadline for each daemon liveness probe")
 	pollWidth := flag.Int("poll-concurrency", 32, "how many daemons are probed in parallel")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics (empty = off)")
+	wireCodec := flag.String("wire-codec", "auto", "wire codec ceiling for served and federation connections: auto, binary, or json")
 	flag.Parse()
+
+	if _, err := protocol.ParseWireCodec(*wireCodec); err != nil {
+		log.Fatalf("-wire-codec: %v", err)
+	}
 
 	var m accounting.Mode
 	switch strings.ToLower(*mode) {
@@ -88,6 +93,7 @@ func main() {
 	srv.PoolSize = *poolSize
 	srv.PollTimeout = *pollTimeout
 	srv.PollConcurrency = *pollWidth
+	srv.WireCodec = *wireCodec
 	if *peers != "" {
 		var list []string
 		for _, p := range strings.Split(*peers, ",") {

@@ -36,9 +36,13 @@ func main() {
 	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent RPC connections kept per peer address")
 	bidConc := flag.Int("bid-concurrency", 0, "daemons asked for a bid in parallel during submit (0 = min(16, #servers), 1 = serial)")
 	bidTimeout := flag.Duration("bid-timeout", 0, "per-bid deadline: a daemon that does not answer in time forfeits its bid (0 = rpc-timeout only)")
+	wireCodec := flag.String("wire-codec", "auto", "wire codec for pooled connections: auto, binary, or json")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: faucets [flags] list|apps|credits|submit|status|watch")
+	}
+	if _, err := protocol.ParseWireCodec(*wireCodec); err != nil {
+		log.Fatalf("-wire-codec: %v", err)
 	}
 	cl, err := client.LoginTimeout(*centralAddr, *user, *pass, *rpcTimeout)
 	if err != nil {
@@ -48,6 +52,7 @@ func main() {
 	cl.PoolSize = *poolSize
 	cl.BidConcurrency = *bidConc
 	cl.BidTimeout = *bidTimeout
+	cl.WireCodec = *wireCodec
 	defer cl.Close()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]

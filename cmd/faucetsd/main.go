@@ -51,6 +51,8 @@ func main() {
 	lookahead := flag.Float64("lookahead", 3600, "profit scheduler admission lookahead, seconds")
 	preempt := flag.Bool("preempt", false, "profit scheduler: checkpoint low-payoff jobs for high-payoff arrivals (§4.1/§5.5.4)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics, job traces under /trace (empty = off)")
+	wireCodec := flag.String("wire-codec", "auto", "wire codec ceiling for served and outbound connections: auto, binary, or json")
+	verifyCache := flag.Duration("verify-cache", daemon.DefaultVerifyCacheTTL, "how long a verified user token is trusted without re-asking the Central Server (negative disables the cache)")
 	flag.Parse()
 
 	spec := machine.Spec{
@@ -117,6 +119,8 @@ func main() {
 		SettleRetry:    *settleRetry,
 		StateDir:       *stateDir,
 		Tracer:         tracer,
+		WireCodec:      *wireCodec,
+		VerifyCacheTTL: *verifyCache,
 	})
 	if err != nil {
 		log.Fatalf("daemon: %v", err)

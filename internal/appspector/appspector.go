@@ -328,13 +328,19 @@ func (s *Server) Close() {
 // frame ID so pooled daemons can pipeline registrations.
 func (s *Server) handle(conn net.Conn) {
 	rc := protocol.NewReplyConn(conn)
+	fr := protocol.NewFrameReader(conn)
 	for {
-		f, err := protocol.ReadFrame(conn)
+		f, err := fr.Next()
 		if err != nil {
 			return // EOF or broken pipe: connection done
 		}
-		rc.SetID(f.ID)
+		rc.SetEcho(f)
 		switch f.Type {
+		case protocol.TypeCodecHello:
+			if err := protocol.AnswerHello(rc, f, protocol.MaxCodecVersion); err != nil {
+				_ = protocol.WriteError(rc, err.Error())
+			}
+
 		case protocol.TypeASRegisterReq:
 			var req protocol.ASRegisterReq
 			if err := protocol.Decode(f, f.Type, &req); err != nil {

@@ -132,6 +132,10 @@ type Server struct {
 	// PoolSize caps persistent federation connections per peer address
 	// (zero = protocol.DefaultPoolSize).
 	PoolSize int
+	// WireCodec selects the wire codec ceiling, both for connections
+	// served here and for federation calls to peers: "auto"/"binary"
+	// negotiate the binary codec, "json" pins JSON (empty = auto).
+	WireCodec string
 
 	peerOnce sync.Once
 	peerPool *protocol.Pool
@@ -144,6 +148,7 @@ func (s *Server) peerRPC() *protocol.Pool {
 	s.peerOnce.Do(func() {
 		s.peerPool = &protocol.Pool{
 			Size:    s.PoolSize,
+			Codec:   s.WireCodec,
 			Obs:     s.rpc,
 			PoolObs: telemetry.NewPoolMetrics(s.Metrics, "central"),
 			Retry:   protocol.Retry{Attempts: 2, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond, Stop: s.closed},
@@ -588,10 +593,14 @@ func (s *Server) Serve(l net.Listener) {
 				backoff = time.Second
 			}
 			log.Printf("central: accept: %v (retrying in %v)", err, backoff)
+			// A stopped timer (not time.After) so a shutdown mid-backoff
+			// does not leak the timer until it fires.
+			wait := time.NewTimer(backoff)
 			select {
 			case <-s.closed:
+				wait.Stop()
 				return
-			case <-time.After(backoff):
+			case <-wait.C:
 			}
 			continue
 		}
@@ -649,12 +658,13 @@ var errAuth = errors.New("central: authentication failed")
 // multiple in-flight requests over this connection.
 func (s *Server) handle(conn net.Conn) {
 	rc := protocol.NewReplyConn(conn)
+	fr := protocol.NewFrameReader(conn)
 	for {
-		f, err := protocol.ReadFrame(conn)
+		f, err := fr.Next()
 		if err != nil {
 			return
 		}
-		rc.SetID(f.ID)
+		rc.SetEcho(f)
 		start := time.Now()
 		derr := s.dispatch(rc, f)
 		s.rpc.ObserveRPC(f.Type, time.Since(start), derr)
@@ -666,6 +676,13 @@ func (s *Server) handle(conn net.Conn) {
 
 func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 	switch f.Type {
+	case protocol.TypeCodecHello:
+		maxCodec, err := protocol.ParseWireCodec(s.WireCodec)
+		if err != nil {
+			return err
+		}
+		return protocol.AnswerHello(conn, f, maxCodec)
+
 	case protocol.TypeAuthReq:
 		var req protocol.AuthReq
 		if err := protocol.Decode(f, f.Type, &req); err != nil {

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"faucets/internal/accounting"
+	"faucets/internal/central"
+	"faucets/internal/market"
+	"faucets/internal/qos"
+)
+
+// TestPlaceBatchMixedSlate drives one PlaceBatch over a slate mixing a
+// placeable contract, a validation failure, and a contract no server
+// can host: failures stay per-slot, the placeable one lands.
+func TestPlaceBatchMixedSlate(t *testing.T) {
+	_, cl, _ := testbed(t)
+	slate := []*qos.Contract{
+		{App: "synth", MinPE: 1, MaxPE: 8, Work: 50},
+		{App: "", MinPE: 1, MaxPE: 1, Work: 1},              // fails Validate
+		{App: "synth", MinPE: 10000, MaxPE: 10000, Work: 1}, // nobody has 10k PEs
+	}
+	res, err := cl.PlaceBatch(slate, nil) // nil criterion → least cost
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(slate) {
+		t.Fatalf("got %d results, want %d", len(res), len(slate))
+	}
+	if res[0].Err != nil || res[0].Placement == nil {
+		t.Fatalf("placeable contract failed: %v", res[0].Err)
+	}
+	if got := res[0].Placement.Server.Spec.Name; got != "box" {
+		t.Fatalf("placed on %q, want box", got)
+	}
+	if res[0].Placement.JobID == "" {
+		t.Fatal("placement missing job ID")
+	}
+	if res[1].Err == nil {
+		t.Fatal("invalid contract passed validation")
+	}
+	if res[2].Err == nil {
+		t.Fatal("unsatisfiable contract placed")
+	}
+}
+
+// TestPlaceBatchAllInvalid never touches the wire: every slot carries
+// its validation error and no directory listing is needed.
+func TestPlaceBatchAllInvalid(t *testing.T) {
+	_, cl, _ := testbed(t)
+	res, err := cl.PlaceBatch([]*qos.Contract{
+		{App: "", MinPE: 1, MaxPE: 1, Work: 1},
+		{App: "x", MinPE: 4, MaxPE: 2, Work: 1}, // MinPE > MaxPE
+	}, market.LeastCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err == nil || r.Placement != nil {
+			t.Fatalf("slot %d: want per-slot validation error, got %+v", i, r)
+		}
+	}
+}
+
+// TestPlaceBatchNoServers maps an empty directory onto ErrNoServers in
+// every valid slot, not a slate-wide failure.
+func TestPlaceBatchNoServers(t *testing.T) {
+	fs := central.New(accounting.Dollars)
+	_ = fs.Auth.AddUser("alice", "pw", "")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fs.Serve(l)
+	t.Cleanup(fs.Close)
+	cl, err := Login(l.Addr().String(), "alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.PlaceBatch([]*qos.Contract{
+		{App: "synth", MinPE: 1, MaxPE: 2, Work: 5},
+		{App: "", MinPE: 1, MaxPE: 1, Work: 1}, // invalid keeps its own error
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res[0].Err, ErrNoServers) {
+		t.Fatalf("err=%v, want ErrNoServers", res[0].Err)
+	}
+	if res[1].Err == nil || errors.Is(res[1].Err, ErrNoServers) {
+		t.Fatalf("invalid slot lost its validation error: %v", res[1].Err)
+	}
+}
+
+// TestPlaceBatchEmptySlate returns nothing and performs no RPC.
+func TestPlaceBatchEmptySlate(t *testing.T) {
+	_, cl, _ := testbed(t)
+	res, err := cl.PlaceBatch(nil, nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty slate: res=%v err=%v", res, err)
+	}
+}

@@ -60,6 +60,11 @@ type Client struct {
 	// Metrics, when set, records the auction fan-out latency histogram
 	// faucets_auction_fanout_seconds.
 	Metrics *telemetry.Registry
+	// WireCodec selects the wire codec for pooled connections:
+	// "auto"/"binary" negotiate the binary codec with each peer (JSON
+	// fallback for peers that do not speak it), "json" pins the JSON
+	// wire format (empty = auto).
+	WireCodec string
 
 	fanoutOnce sync.Once
 	fanoutHist *telemetry.Histogram
@@ -75,6 +80,7 @@ func (c *Client) rpcPool() *protocol.Pool {
 	c.poolOnce.Do(func() {
 		c.pool = &protocol.Pool{
 			Size:        c.PoolSize,
+			Codec:       c.WireCodec,
 			DialTimeout: c.DialTimeout,
 			PoolObs:     c.PoolObs,
 			Retry:       protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond},
@@ -199,6 +205,28 @@ func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, boo
 	return b, true
 }
 
+// RequestBidBatch solicits bids for a whole slate of contracts in one
+// frame (market.BatchPort). A transport failure, or a daemon answering
+// the wrong number of slots, forfeits the slate for this server — the
+// daemon itself answers per-slot declines inline.
+func (p *fdPort) RequestBidBatch(_ float64, cs []*qos.Contract) []market.BatchBid {
+	var reply protocol.BidBatchOK
+	err := p.c.rpcPool().Call(p.info.Addr, p.c.RPCTimeout, protocol.TypeBidBatchReq,
+		protocol.BidBatchReq{User: p.c.User, Token: p.c.Token, Contracts: cs},
+		protocol.TypeBidBatchOK, &reply)
+	if err != nil || len(reply.Bids) != len(cs) {
+		return nil
+	}
+	out := make([]market.BatchBid, len(cs))
+	for i, item := range reply.Bids {
+		b := item.Bid
+		// Expiry is daemon-local; neutralize it for client-side comparison.
+		b.ExpiresAt = 0
+		out[i] = market.BatchBid{Bid: b, OK: item.OK}
+	}
+	return out
+}
+
 // Commit rides the pool too: the daemon's commit handler is idempotent
 // per (job, user), so a redial-and-resend after a broken connection is
 // safe.
@@ -282,6 +310,91 @@ func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placemen
 		Contract: contract,
 		Attempts: res.Attempts,
 	}, nil
+}
+
+// BatchPlacement is one contract's outcome in a PlaceBatch slate:
+// either a Placement or the error that contract hit. Contracts fail
+// independently — one unplaceable job does not abort its batchmates.
+type BatchPlacement struct {
+	Placement *Placement
+	Err       error
+}
+
+// PlaceBatch runs the §5 selection for a slate of contracts with one
+// request-for-bids fan-out: each daemon is asked to bid on the whole
+// slate in a single bid_batch_req frame (legacy daemons are walked
+// contract-by-contract), then each contract's ranked bids go through
+// the usual two-phase commit in slate order. The directory is read once
+// unfiltered, so static pre-screening is left to each daemon's own
+// decline logic. It returns one BatchPlacement per contract, in input
+// order; the error return is reserved for slate-wide failures (listing
+// the directory).
+func (c *Client) PlaceBatch(contracts []*qos.Contract, crit market.Criterion) ([]BatchPlacement, error) {
+	if len(contracts) == 0 {
+		return nil, nil
+	}
+	if crit == nil {
+		crit = market.LeastCost{}
+	}
+	out := make([]BatchPlacement, len(contracts))
+	valid := make([]*qos.Contract, 0, len(contracts))
+	idx := make([]int, 0, len(contracts))
+	for i, ct := range contracts {
+		if err := ct.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		valid = append(valid, ct)
+		idx = append(idx, i)
+	}
+	if len(valid) == 0 {
+		return out, nil
+	}
+	servers, err := c.ListServers(nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(servers) == 0 {
+		for _, i := range idx {
+			out[i].Err = ErrNoServers
+		}
+		return out, nil
+	}
+	ports := make([]market.ServerPort, len(servers))
+	byName := make(map[string]protocol.ServerInfo, len(servers))
+	for i, info := range servers {
+		ports[i] = &fdPort{c: c, info: info}
+		byName[info.Spec.Name] = info
+	}
+	solStart := time.Now()
+	ranked := market.SolicitBatch(0, ports, valid, crit, market.SolicitOpts{
+		Concurrency: c.BidConcurrency,
+		Timeout:     c.BidTimeout,
+	})
+	if h := c.fanout(); h != nil {
+		h.Observe(time.Since(solStart).Seconds())
+	}
+	for k, bids := range ranked {
+		i := idx[k]
+		jobID := NewJobID()
+		c.Tracer.Record(jobID, telemetry.SpanSubmit, fmt.Sprintf("%s by %s: %.0f work for %d servers (batch %d/%d)", valid[k].App, c.User, valid[k].Work, len(servers), k+1, len(valid)))
+		if len(bids) > 0 {
+			c.Tracer.Record(jobID, telemetry.SpanBid, fmt.Sprintf("best of %d bids: %s at price %.2f", len(bids), bids[0].Server, bids[0].Price))
+		}
+		res, err := market.CommitRanked(0, ports, bids, jobID, false)
+		if err != nil {
+			out[i].Err = fmt.Errorf("client: award: %w", err)
+			continue
+		}
+		out[i].Placement = &Placement{
+			JobID:    jobID,
+			Server:   byName[res.Bid.Server],
+			Bid:      res.Bid,
+			Contract: valid[k],
+			Attempts: res.Attempts,
+		}
+	}
+	return out, nil
 }
 
 // Upload stages one input file to the awarded daemon in chunks with an

@@ -81,7 +81,29 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// Tracer records job-lifecycle span events (nil = tracing off).
 	Tracer *telemetry.Tracer
+	// WireCodec selects the RPC wire codec (protocol.ParseWireCodec):
+	// "auto"/"" negotiates the binary codec for served and outbound
+	// connections, "json" pins everything to JSON.
+	WireCodec string
+	// VerifyCacheTTL is how long (wall time) a successful credential
+	// verification with the Central Server is remembered, so the nested
+	// verify RPC is paid once per client burst instead of once per bid.
+	// Zero means DefaultVerifyCacheTTL; negative disables the cache.
+	// Only positive verifications are cached — a bogus token is
+	// re-checked (and re-refused) every time.
+	VerifyCacheTTL time.Duration
 }
+
+// DefaultVerifyCacheTTL bounds how stale a cached credential check may
+// be. Short enough that a revoked session stops bidding within a couple
+// of seconds; long enough to cover the bid/commit/submit burst of one
+// auction round with a single verify round trip.
+const DefaultVerifyCacheTTL = 2 * time.Second
+
+// verifyCacheMax bounds the cache; past it the map is reset wholesale
+// (entries expire in seconds anyway, so eviction precision is not worth
+// bookkeeping).
+const verifyCacheMax = 4096
 
 // reservation is a committed-but-not-yet-submitted contract (phase two
 // of §5.3 ahead of file upload).
@@ -119,6 +141,14 @@ type Daemon struct {
 	// pool holds the persistent connections for every outbound RPC
 	// (register, verify, settle, AppSpector registration).
 	pool *protocol.Pool
+
+	// maxCodec is the served wire-codec ceiling (from cfg.WireCodec).
+	maxCodec uint8
+
+	// verifyCache remembers recent successful credential checks:
+	// user+token → wall-clock expiry.
+	verifyMu    sync.Mutex
+	verifyCache map[string]time.Time
 
 	Stage *stage.Store
 
@@ -166,6 +196,13 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	if cfg.VerifyCacheTTL == 0 {
+		cfg.VerifyCacheTTL = DefaultVerifyCacheTTL
+	}
+	maxCodec, err := protocol.ParseWireCodec(cfg.WireCodec)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
 	d := &Daemon{
 		cfg:        cfg,
 		epoch:      time.Now(),
@@ -180,9 +217,14 @@ func New(cfg Config) (*Daemon, error) {
 		closed:     make(chan struct{}),
 		met:        newFDMetrics(cfg.Metrics),
 		rpc:        telemetry.NewRPCMetrics(cfg.Metrics, "daemon"),
+		maxCodec:   maxCodec,
+	}
+	if cfg.VerifyCacheTTL > 0 {
+		d.verifyCache = map[string]time.Time{}
 	}
 	d.pool = &protocol.Pool{
 		Size:        cfg.PoolSize,
+		Codec:       cfg.WireCodec,
 		DialTimeout: cfg.RPCTimeout,
 		Obs:         d.rpc,
 		PoolObs:     telemetry.NewPoolMetrics(cfg.Metrics, "daemon"),
@@ -396,14 +438,39 @@ func (d *Daemon) register() error {
 }
 
 // verify re-checks a client's credentials with the Central Server (§2.2).
-// Standalone daemons accept everyone.
+// Standalone daemons accept everyone. Successful checks are remembered
+// for VerifyCacheTTL so the bid/commit/submit burst of one auction pays
+// the nested round trip once; refusals are never cached, so a bad token
+// is refused on every request.
 func (d *Daemon) verify(user, token string) error {
 	if d.cfg.CentralAddr == "" {
 		return nil
 	}
+	key := user + "\x00" + token
+	if d.verifyCache != nil {
+		d.verifyMu.Lock()
+		exp, hit := d.verifyCache[key]
+		d.verifyMu.Unlock()
+		if hit && time.Now().Before(exp) {
+			d.met.verifyCacheHits.Inc()
+			return nil
+		}
+	}
 	var ok protocol.VerifyOK
-	return d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+	err := d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout,
 		protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
+	if err != nil {
+		return err
+	}
+	if d.verifyCache != nil {
+		d.verifyMu.Lock()
+		if len(d.verifyCache) >= verifyCacheMax {
+			d.verifyCache = map[string]time.Time{}
+		}
+		d.verifyCache[key] = time.Now().Add(d.cfg.VerifyCacheTTL)
+		d.verifyMu.Unlock()
+	}
+	return nil
 }
 
 // runLoop advances the scheduler in wall time, emitting telemetry,
@@ -670,10 +737,15 @@ func (d *Daemon) serve(l net.Listener) {
 				backoff = time.Second
 			}
 			log.Printf("daemon %s: accept: %v (retrying in %v)", d.Name(), err, backoff)
+			// time.NewTimer, not time.After: a timer abandoned on the
+			// shutdown branch is stopped and freed immediately instead
+			// of leaking until it fires.
+			retry := time.NewTimer(backoff)
 			select {
 			case <-d.closed:
+				retry.Stop()
 				return
-			case <-time.After(backoff):
+			case <-retry.C:
 			}
 			continue
 		}
@@ -689,16 +761,20 @@ func (d *Daemon) serve(l net.Listener) {
 	}
 }
 
-// handle serves one connection; replies echo the request's frame ID so
-// pooled clients can pipeline multiple in-flight requests.
+// handle serves one connection; replies echo the request's frame ID and
+// codec so pooled clients can pipeline multiple in-flight requests over
+// whichever codec they negotiated. The FrameReader reuses one payload
+// buffer — safe because dispatch fully consumes each frame before the
+// next read.
 func (d *Daemon) handle(conn net.Conn) {
 	rc := protocol.NewReplyConn(conn)
+	fr := protocol.NewFrameReader(conn)
 	for {
-		f, err := protocol.ReadFrame(conn)
+		f, err := fr.Next()
 		if err != nil {
 			return
 		}
-		rc.SetID(f.ID)
+		rc.SetEcho(f)
 		if err := d.dispatch(rc, f); err != nil {
 			_ = protocol.WriteError(rc, err.Error())
 		}
@@ -707,6 +783,9 @@ func (d *Daemon) handle(conn net.Conn) {
 
 func (d *Daemon) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 	switch f.Type {
+	case protocol.TypeCodecHello:
+		return protocol.AnswerHello(conn, f, d.maxCodec)
+
 	case protocol.TypePollReq:
 		d.mu.Lock()
 		reply := protocol.PollOK{
@@ -739,6 +818,33 @@ func (d *Daemon) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 		d.met.bids.Inc()
 		return protocol.WriteFrame(conn, protocol.TypeBidOK, protocol.BidOK{Bid: b})
 
+	case protocol.TypeBidBatchReq:
+		var req protocol.BidBatchReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		if err := d.verify(req.User, req.Token); err != nil {
+			return err
+		}
+		// One verification covers the whole batch; per-contract failures
+		// decline that slot rather than fail the frame, so one malformed
+		// contract cannot sink its siblings.
+		reply := protocol.BidBatchOK{Bids: make([]protocol.BidBatchItem, len(req.Contracts))}
+		for i, c := range req.Contracts {
+			if c == nil || c.Validate() != nil {
+				d.met.bidsDeclined.Inc()
+				continue
+			}
+			b, ok := d.makeBid(c)
+			if !ok {
+				d.met.bidsDeclined.Inc()
+				continue
+			}
+			d.met.bids.Inc()
+			reply.Bids[i] = protocol.BidBatchItem{OK: true, Bid: b}
+		}
+		return protocol.WriteFrame(conn, protocol.TypeBidBatchOK, reply)
+
 	case protocol.TypeCommitReq:
 		var req protocol.CommitReq
 		if err := protocol.Decode(f, f.Type, &req); err != nil {
@@ -763,6 +869,10 @@ func (d *Daemon) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 		if err := d.submit(req); err != nil {
 			return err
 		}
+		// Register with AppSpector before acknowledging: a client holding
+		// SubmitOK can immediately watch the job. Best-effort — a dead
+		// monitor must not fail the submission.
+		d.registerWithAppSpector(req.JobID, req.User, req.Contract.App)
 		return protocol.WriteFrame(conn, protocol.TypeSubmitOK, protocol.SubmitOK{JobID: req.JobID})
 
 	case protocol.TypeUploadReq:
@@ -953,10 +1063,8 @@ func (d *Daemon) submit(req protocol.SubmitReq) error {
 		Price: d.prices[req.JobID], Contract: req.Contract,
 	})
 	d.trace(req.JobID, telemetry.SpanStart, fmt.Sprintf("started on %s with %d PEs", d.Name(), j.PEs()))
-
-	// Register with AppSpector outside the lock would be nicer, but the
-	// call is quick and only happens once per job.
-	go d.registerWithAppSpector(req.JobID, req.User, req.Contract.App)
+	// AppSpector registration happens in the dispatch handler, after
+	// this lock is released and before SubmitOK is acknowledged.
 	return nil
 }
 

@@ -9,36 +9,38 @@ import (
 // fdMetrics holds the Faucets Daemon's pre-resolved instruments, so the
 // scheduler loop and RPC dispatch record with plain atomic updates.
 type fdMetrics struct {
-	bids          *telemetry.Counter   // bid requests answered with a bid
-	bidsDeclined  *telemetry.Counter   // bid requests declined (§5.1 "may decline")
-	jobsAdmitted  *telemetry.Counter   // jobs accepted by the scheduler
-	jobsRejected  *telemetry.Counter   // submissions the scheduler refused
-	jobsFinished  *telemetry.Counter   // jobs run to completion
-	jobsKilled    *telemetry.Counter   // jobs killed by their owner
-	settleAcked   *telemetry.Counter   // settlements the Central Server acknowledged
-	queueDepth    *telemetry.Gauge     // scheduler queue length
-	runningJobs   *telemetry.Gauge     // jobs currently executing
-	usedPEs       *telemetry.Gauge     // processors allocated to running jobs
-	outboxDepth   *telemetry.Gauge     // settlements awaiting acknowledgement
-	journalAppend *telemetry.Histogram // journal record append+fsync latency
-	journalRewr   *telemetry.Histogram // journal compaction rewrite latency
+	bids            *telemetry.Counter   // bid requests answered with a bid
+	bidsDeclined    *telemetry.Counter   // bid requests declined (§5.1 "may decline")
+	jobsAdmitted    *telemetry.Counter   // jobs accepted by the scheduler
+	jobsRejected    *telemetry.Counter   // submissions the scheduler refused
+	jobsFinished    *telemetry.Counter   // jobs run to completion
+	jobsKilled      *telemetry.Counter   // jobs killed by their owner
+	settleAcked     *telemetry.Counter   // settlements the Central Server acknowledged
+	verifyCacheHits *telemetry.Counter   // credential checks answered from the verify cache
+	queueDepth      *telemetry.Gauge     // scheduler queue length
+	runningJobs     *telemetry.Gauge     // jobs currently executing
+	usedPEs         *telemetry.Gauge     // processors allocated to running jobs
+	outboxDepth     *telemetry.Gauge     // settlements awaiting acknowledgement
+	journalAppend   *telemetry.Histogram // journal record append+fsync latency
+	journalRewr     *telemetry.Histogram // journal compaction rewrite latency
 }
 
 func newFDMetrics(reg *telemetry.Registry) *fdMetrics {
 	return &fdMetrics{
-		bids:          reg.Counter("faucets_daemon_bids_total", "Bid requests answered with a bid."),
-		bidsDeclined:  reg.Counter("faucets_daemon_bids_declined_total", "Bid requests declined (no capacity, unexported app, or unprofitable)."),
-		jobsAdmitted:  reg.Counter("faucets_daemon_jobs_admitted_total", "Jobs the scheduler admitted at submission."),
-		jobsRejected:  reg.Counter("faucets_daemon_jobs_rejected_total", "Submissions the scheduler refused."),
-		jobsFinished:  reg.Counter("faucets_daemon_jobs_finished_total", "Jobs run to completion and queued for settlement."),
-		jobsKilled:    reg.Counter("faucets_daemon_jobs_killed_total", "Jobs killed on their owner's request."),
-		settleAcked:   reg.Counter("faucets_daemon_settlements_acked_total", "Settlements acknowledged (or permanently refused) by the Central Server."),
-		queueDepth:    reg.Gauge("faucets_daemon_queue_depth", "Jobs waiting in the scheduler queue."),
-		runningJobs:   reg.Gauge("faucets_daemon_running_jobs", "Jobs currently executing."),
-		usedPEs:       reg.Gauge("faucets_daemon_used_pes", "Processors allocated to running jobs."),
-		outboxDepth:   reg.Gauge("faucets_daemon_outbox_depth", "Settlements queued for (re)delivery to the Central Server."),
-		journalAppend: reg.Histogram("faucets_daemon_journal_append_seconds", "Journal record append latency.", nil),
-		journalRewr:   reg.Histogram("faucets_daemon_journal_rewrite_seconds", "Journal compaction rewrite+fsync latency.", nil),
+		bids:            reg.Counter("faucets_daemon_bids_total", "Bid requests answered with a bid."),
+		bidsDeclined:    reg.Counter("faucets_daemon_bids_declined_total", "Bid requests declined (no capacity, unexported app, or unprofitable)."),
+		jobsAdmitted:    reg.Counter("faucets_daemon_jobs_admitted_total", "Jobs the scheduler admitted at submission."),
+		jobsRejected:    reg.Counter("faucets_daemon_jobs_rejected_total", "Submissions the scheduler refused."),
+		jobsFinished:    reg.Counter("faucets_daemon_jobs_finished_total", "Jobs run to completion and queued for settlement."),
+		jobsKilled:      reg.Counter("faucets_daemon_jobs_killed_total", "Jobs killed on their owner's request."),
+		settleAcked:     reg.Counter("faucets_daemon_settlements_acked_total", "Settlements acknowledged (or permanently refused) by the Central Server."),
+		verifyCacheHits: reg.Counter("faucets_daemon_verify_cache_hits_total", "Credential verifications answered from the local cache instead of a Central Server round trip."),
+		queueDepth:      reg.Gauge("faucets_daemon_queue_depth", "Jobs waiting in the scheduler queue."),
+		runningJobs:     reg.Gauge("faucets_daemon_running_jobs", "Jobs currently executing."),
+		usedPEs:         reg.Gauge("faucets_daemon_used_pes", "Processors allocated to running jobs."),
+		outboxDepth:     reg.Gauge("faucets_daemon_outbox_depth", "Settlements queued for (re)delivery to the Central Server."),
+		journalAppend:   reg.Histogram("faucets_daemon_journal_append_seconds", "Journal record append latency.", nil),
+		journalRewr:     reg.Histogram("faucets_daemon_journal_rewrite_seconds", "Journal compaction rewrite+fsync latency.", nil),
 	}
 }
 

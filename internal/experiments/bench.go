@@ -140,6 +140,23 @@ func LoadBenchReport(path string) (*BenchReport, error) {
 	return &rep, nil
 }
 
+// CheckAllocs gates a benchmark's allocations per op against an
+// absolute ceiling. Unlike the ns/op gate it compares against a fixed
+// budget, not the baseline: allocation counts are deterministic per
+// build, so any growth is a real code change, and a hot path promised
+// to be (near) zero-alloc should fail CI the moment it stops being so.
+func CheckAllocs(current *BenchReport, name string, maxAllocs float64) error {
+	cur, ok := current.Results[name]
+	if !ok {
+		return fmt.Errorf("experiments: %s missing from current run", name)
+	}
+	if cur.AllocsPerOp > maxAllocs {
+		return fmt.Errorf("experiments: %s allocates %.0f/op, budget is %.0f/op",
+			name, cur.AllocsPerOp, maxAllocs)
+	}
+	return nil
+}
+
 // CompareBench checks one guarded benchmark in current against
 // baseline: it fails when current ns/op exceeds baseline ns/op by more
 // than tolerance (0.15 = +15%). A benchmark missing from either report

@@ -102,3 +102,23 @@ func TestBenchReportRoundTrip(t *testing.T) {
 		t.Fatal("round trip changed ns/op")
 	}
 }
+
+func TestCheckAllocsGate(t *testing.T) {
+	rep := &BenchReport{Results: map[string]BenchResult{
+		"BenchmarkSolicitEncodeBinary": {Name: "BenchmarkSolicitEncodeBinary", NsPerOp: 90, AllocsPerOp: 1},
+		"BenchmarkSolicitEncodeJSON":   {Name: "BenchmarkSolicitEncodeJSON", NsPerOp: 1500, AllocsPerOp: 12},
+	}}
+	if err := CheckAllocs(rep, "BenchmarkSolicitEncodeBinary", 8); err != nil {
+		t.Fatalf("within budget rejected: %v", err)
+	}
+	if err := CheckAllocs(rep, "BenchmarkSolicitEncodeBinary", 1); err != nil {
+		t.Fatalf("exactly at budget rejected: %v", err)
+	}
+	if err := CheckAllocs(rep, "BenchmarkSolicitEncodeJSON", 8); err == nil {
+		t.Fatal("over-budget benchmark passed the allocs gate")
+	}
+	// A missing benchmark must fail loudly, not skip the gate.
+	if err := CheckAllocs(rep, "BenchmarkNoSuch", 8); err == nil {
+		t.Fatal("missing benchmark not flagged")
+	}
+}

@@ -1,0 +1,214 @@
+package grid
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faucets/internal/bidding"
+	"faucets/internal/market"
+	"faucets/internal/protocol"
+	"faucets/internal/qos"
+)
+
+// codecPort adapts one live daemon to market.ServerPort over an
+// explicitly-configured pool, so the test can run the same auction once
+// through a binary-negotiating pool and once through a JSON-pinned one.
+type codecPort struct {
+	name, addr, user, token string
+	pool                    *protocol.Pool
+}
+
+func (p *codecPort) ServerName() string { return p.name }
+
+func (p *codecPort) RequestBid(_ float64, c *qos.Contract) (bidding.Bid, bool) {
+	var reply protocol.BidOK
+	if err := p.pool.Call(p.addr, 2*time.Second, protocol.TypeBidReq,
+		protocol.BidReq{User: p.user, Token: p.token, Contract: c},
+		protocol.TypeBidOK, &reply); err != nil {
+		return bidding.Bid{}, false
+	}
+	b := reply.Bid
+	// EstCompletion and ExpiresAt are functions of each daemon's clock at
+	// answer time; the award-relevant economics are Server, Price and
+	// Multiplier, which must not depend on the wire codec.
+	b.EstCompletion, b.ExpiresAt = 0, 0
+	return b, b.Server != ""
+}
+
+func (p *codecPort) Commit(float64, string, bidding.Bid) error { return nil }
+
+// negObs counts codec negotiation outcomes per version.
+type negObs struct {
+	negotiated [2]atomic.Int64
+}
+
+func (o *negObs) PoolConnOpen(int) {}
+func (o *negObs) PoolCheckout()    {}
+func (o *negObs) PoolRedial()      {}
+func (o *negObs) PoolIdleReap()    {}
+func (o *negObs) CodecNegotiated(version int) {
+	if version >= 0 && version < len(o.negotiated) {
+		o.negotiated[version].Add(1)
+	}
+}
+
+// TestMixedCodecGridByteIdenticalAwards runs a grid where one daemon is
+// binary-capable and one is pinned to the legacy JSON wire format, then
+// proves codec transparency two ways:
+//
+//  1. The same auction solicited through a binary-negotiating pool and
+//     through a JSON-pinned pool yields byte-identical award economics
+//     ({server, price, multiplier} of every ranked bid, JSON-marshaled)
+//     and the same winner.
+//  2. A binary-codec client places, commits, and settles a job end to
+//     end against the JSON-only daemon.
+func TestMixedCodecGridByteIdenticalAwards(t *testing.T) {
+	g, err := Start([]ClusterSpec{
+		{Spec: spec("binfd", 64, 0.010), Apps: []string{"synth"}},
+		{Spec: spec("jsonfd", 128, 0.008), Apps: []string{"synth", "legacy"}, WireCodec: "json"},
+	}, Options{Users: map[string]string{"alice": "pw"}, WireCodec: "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	cl, err := g.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	servers, err := cl.ListServers(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 2 {
+		t.Fatalf("directory has %d servers, want 2", len(servers))
+	}
+
+	obs := &negObs{}
+	binPool := &protocol.Pool{Codec: "binary", PoolObs: obs}
+	defer binPool.Close()
+	jsonPool := &protocol.Pool{Codec: "json"}
+	defer jsonPool.Close()
+
+	ports := func(pool *protocol.Pool) []market.ServerPort {
+		out := make([]market.ServerPort, len(servers))
+		for i, info := range servers {
+			out[i] = &codecPort{name: info.Spec.Name, addr: info.Addr, user: "alice", token: cl.Token, pool: pool}
+		}
+		return out
+	}
+
+	// Solicit the identical contract through both pools before any job is
+	// committed, so daemon state (and therefore pricing) is the same for
+	// both auctions.
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 8, Work: 50}
+	award := func(pool *protocol.Pool) []byte {
+		bids := market.Solicit(0, ports(pool), c, market.LeastCost{})
+		if len(bids) != 2 {
+			t.Fatalf("got %d bids, want one from each daemon", len(bids))
+		}
+		type econ struct {
+			Server     string  `json:"server"`
+			Price      float64 `json:"price"`
+			Multiplier float64 `json:"multiplier"`
+		}
+		ranked := make([]econ, len(bids))
+		for i, b := range bids {
+			ranked[i] = econ{Server: b.Server, Price: b.Price, Multiplier: b.Multiplier}
+		}
+		blob, err := json.Marshal(ranked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	binAward := award(binPool)
+	jsonAward := award(jsonPool)
+	if string(binAward) != string(jsonAward) {
+		t.Fatalf("awards differ across codecs:\nbinary %s\n  json %s", binAward, jsonAward)
+	}
+
+	// The binary pool must actually have negotiated both codec versions:
+	// v1 with the binary daemon, v0 with the JSON-pinned one.
+	if obs.negotiated[1].Load() == 0 {
+		t.Fatal("binary pool never negotiated the binary codec with the binary daemon")
+	}
+	if obs.negotiated[0].Load() == 0 {
+		t.Fatal("binary pool never fell back to JSON against the JSON-pinned daemon")
+	}
+
+	// End to end across the version gap: the "legacy" app is exported
+	// only by the JSON-pinned daemon, so this placement must commit,
+	// run, and settle against it through the client's binary-negotiating
+	// pool.
+	p, err := cl.Place(&qos.Contract{App: "legacy", MinPE: 1, MaxPE: 4, Work: 10}, market.LeastCost{})
+	if err != nil {
+		t.Fatalf("place against JSON-only daemon: %v", err)
+	}
+	if p.Server.Spec.Name != "jsonfd" {
+		t.Fatalf("legacy app landed on %s, want jsonfd", p.Server.Spec.Name)
+	}
+	if err := cl.Start(p); err != nil {
+		t.Fatalf("start on JSON-only daemon: %v", err)
+	}
+	if _, err := cl.WaitFinished(p, 10*time.Second); err != nil {
+		t.Fatalf("job on JSON-only daemon never finished: %v", err)
+	}
+}
+
+// TestPlaceBatchMixedCodecGrid drives the batched solicit path against
+// the same mixed-version grid: one bid_batch_req frame per
+// batch-capable daemon, per-contract awards, and a slate whose members
+// land on different daemons.
+func TestPlaceBatchMixedCodecGrid(t *testing.T) {
+	g, err := Start([]ClusterSpec{
+		{Spec: spec("binfd", 64, 0.010), Apps: []string{"synth"}},
+		{Spec: spec("jsonfd", 128, 0.008), Apps: []string{"synth", "legacy"}, WireCodec: "json"},
+	}, Options{Users: map[string]string{"alice": "pw"}, WireCodec: "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	cl, err := g.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	slate := []*qos.Contract{
+		{App: "synth", MinPE: 2, MaxPE: 8, Work: 50},
+		{App: "legacy", MinPE: 1, MaxPE: 4, Work: 10},
+		{App: "nosuchapp", MinPE: 1, MaxPE: 2, Work: 5},
+	}
+	res, err := cl.PlaceBatch(slate, market.LeastCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(slate) {
+		t.Fatalf("got %d results, want %d", len(res), len(slate))
+	}
+	if res[0].Err != nil || res[0].Placement == nil {
+		t.Fatalf("synth contract failed: %v", res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Placement == nil {
+		t.Fatalf("legacy contract failed: %v", res[1].Err)
+	}
+	if got := res[1].Placement.Server.Spec.Name; got != "jsonfd" {
+		t.Fatalf("legacy contract landed on %s, want jsonfd", got)
+	}
+	if res[2].Err == nil {
+		t.Fatal("unknown app placed — expected a per-contract error")
+	}
+	// Batch failures are isolated: both placeable jobs must run.
+	for i := 0; i < 2; i++ {
+		if err := cl.Start(res[i].Placement); err != nil {
+			t.Fatalf("start batch job %d: %v", i, err)
+		}
+		if _, err := cl.WaitFinished(res[i].Placement, 10*time.Second); err != nil {
+			t.Fatalf("batch job %d never finished: %v", i, err)
+		}
+	}
+}

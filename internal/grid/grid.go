@@ -38,6 +38,10 @@ type ClusterSpec struct {
 	Bidder bidding.Generator
 	// Home is the bartering cluster; defaults to Spec.Name.
 	Home string
+	// WireCodec overrides Options.WireCodec for this cluster's daemon —
+	// set "json" to model a legacy JSON-only daemon inside an otherwise
+	// binary-codec grid (mixed-version interop tests).
+	WireCodec string
 }
 
 // Options configures the whole grid.
@@ -89,6 +93,11 @@ type Options struct {
 	// in-process equivalent of each daemon's -metrics-addr flag); read
 	// the addresses back with MetricsAddr.
 	Metrics bool
+	// WireCodec is every component's wire codec setting (the in-process
+	// -wire-codec): "auto"/"binary" negotiate the binary codec, "json"
+	// pins JSON; empty = auto. ClusterSpec.WireCodec overrides it per
+	// daemon.
+	WireCodec string
 }
 
 // Grid is a running loopback Faucets deployment.
@@ -272,6 +281,7 @@ func (g *Grid) newCentral() (*central.Server, error) {
 		fs.RPCTimeout = g.opts.RPCTimeout
 	}
 	fs.PoolSize = g.opts.PoolSize
+	fs.WireCodec = g.opts.WireCodec
 	return fs, nil
 }
 
@@ -290,6 +300,10 @@ func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
 	if g.opts.StateDir != "" {
 		stateDir = filepath.Join(g.opts.StateDir, "fd-"+cl.Spec.Name)
 	}
+	codec := cl.WireCodec
+	if codec == "" {
+		codec = g.opts.WireCodec
+	}
 	d, err := daemon.New(daemon.Config{
 		Info:           protocol.ServerInfo{Spec: cl.Spec, Apps: cl.Apps, Home: cl.Home},
 		Scheduler:      factory(cl.Spec, g.opts.SchedCfg),
@@ -303,6 +317,7 @@ func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
 		ReRegister:     g.opts.ReRegister,
 		StateDir:       stateDir,
 		Tracer:         g.Tracer,
+		WireCodec:      codec,
 	})
 	if err != nil {
 		return nil, "", err
@@ -382,6 +397,7 @@ func (g *Grid) Login(user, password string) (*client.Client, error) {
 	c.PoolSize = g.opts.PoolSize
 	c.BidConcurrency = g.opts.BidConcurrency
 	c.BidTimeout = g.opts.BidTimeout
+	c.WireCodec = g.opts.WireCodec
 	// Clients share the Central Server's registry, so the auction
 	// fan-out histogram lands next to the rest of the grid's metrics.
 	c.Metrics = g.Central.Metrics

@@ -1,0 +1,136 @@
+package market
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"faucets/internal/qos"
+)
+
+// fakeBatchServer is a scripted BatchPort. Its per-slot behavior is
+// driven off the inner fakeServer so batch and per-contract paths stay
+// comparable; badLen forces a malformed (wrong-length) reply and slow
+// delays the whole slate.
+type fakeBatchServer struct {
+	fakeServer
+	badLen  bool
+	slow    time.Duration
+	batches int
+}
+
+func (f *fakeBatchServer) RequestBidBatch(now float64, cs []*qos.Contract) []BatchBid {
+	f.batches++
+	if f.slow > 0 {
+		time.Sleep(f.slow)
+	}
+	if f.badLen {
+		return make([]BatchBid, len(cs)+1)
+	}
+	out := make([]BatchBid, len(cs))
+	for j, c := range cs {
+		out[j].Bid, out[j].OK = f.RequestBid(now, c)
+	}
+	return out
+}
+
+func slate() []*qos.Contract {
+	return []*qos.Contract{
+		{App: "x", MinPE: 1, MaxPE: 4, Work: 100},
+		{App: "y", MinPE: 2, MaxPE: 8, Work: 200},
+		{App: "z", MinPE: 1, MaxPE: 2, Work: 50},
+	}
+}
+
+// TestSolicitBatchMatchesPerContractSolicit: over a fleet mixing
+// batch-capable ports, legacy per-contract ports, and a decliner, every
+// contract's ranking from one SolicitBatch fan-out must equal what a
+// standalone Solicit for that contract produces.
+func TestSolicitBatchMatchesPerContractSolicit(t *testing.T) {
+	build := func() []ServerPort {
+		d := srv("dd", 1, 1)
+		d.declines = true
+		return []ServerPort{
+			&fakeBatchServer{fakeServer: *srv("ba", 30, 10)},
+			&fakeBatchServer{fakeServer: *srv("bb", 10, 30)},
+			srv("pc", 20, 20), // legacy: no batch support
+			srv("pd", 10, 5),  // ties bb on price — name breaks the tie
+			d,
+		}
+	}
+	cs := slate()
+	for _, conc := range []int{1, 2, 8} {
+		got := SolicitBatch(0, build(), cs, LeastCost{}, SolicitOpts{Concurrency: conc})
+		if len(got) != len(cs) {
+			t.Fatalf("conc=%d: %d result slots, want %d", conc, len(got), len(cs))
+		}
+		for j, c := range cs {
+			want := Solicit(0, build(), c, LeastCost{})
+			if !reflect.DeepEqual(got[j], want) {
+				t.Fatalf("conc=%d contract %d: batch ranking %v != solicit ranking %v",
+					conc, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestSolicitBatchAsksBatchPortOnce: a batch-capable server sees exactly
+// one RequestBidBatch call per fan-out regardless of slate size.
+func TestSolicitBatchAsksBatchPortOnce(t *testing.T) {
+	b := &fakeBatchServer{fakeServer: *srv("ba", 10, 10)}
+	out := SolicitBatch(0, []ServerPort{b}, slate(), LeastCost{}, SolicitOpts{})
+	if b.batches != 1 {
+		t.Fatalf("batch port asked %d times, want 1", b.batches)
+	}
+	for j, bids := range out {
+		if len(bids) != 1 || bids[0].Server != "ba" {
+			t.Fatalf("contract %d: bids=%v", j, bids)
+		}
+	}
+}
+
+// TestSolicitBatchForfeitsMalformedReply: a reply whose length disagrees
+// with the slate forfeits that server for every contract instead of
+// misaligning slots.
+func TestSolicitBatchForfeitsMalformedReply(t *testing.T) {
+	bad := &fakeBatchServer{fakeServer: *srv("bx", 1, 1), badLen: true}
+	good := &fakeBatchServer{fakeServer: *srv("by", 10, 10)}
+	out := SolicitBatch(0, []ServerPort{bad, good}, slate(), LeastCost{}, SolicitOpts{})
+	for j, bids := range out {
+		if len(bids) != 1 || bids[0].Server != "by" {
+			t.Fatalf("contract %d: want only the well-formed server's bid, got %v", j, bids)
+		}
+	}
+}
+
+// TestSolicitBatchTimeoutForfeitsSlowServer mirrors the per-bid deadline
+// semantics: a server that cannot answer the slate inside the deadline
+// forfeits every contract; the fast server's bids survive.
+func TestSolicitBatchTimeoutForfeitsSlowServer(t *testing.T) {
+	slow := &fakeBatchServer{fakeServer: *srv("sl", 1, 1), slow: 200 * time.Millisecond}
+	fast := &fakeBatchServer{fakeServer: *srv("ff", 10, 10)}
+	out := SolicitBatch(0, []ServerPort{slow, fast}, slate(), LeastCost{},
+		SolicitOpts{Concurrency: 2, Timeout: 20 * time.Millisecond})
+	for j, bids := range out {
+		if len(bids) != 1 || bids[0].Server != "ff" {
+			t.Fatalf("contract %d: slow server should forfeit, got %v", j, bids)
+		}
+	}
+}
+
+// TestSolicitBatchEmpty: empty slates and empty fleets return without
+// fanning out.
+func TestSolicitBatchEmpty(t *testing.T) {
+	if out := SolicitBatch(0, ports(srv("a", 1, 1)), nil, LeastCost{}, SolicitOpts{}); out != nil {
+		t.Fatalf("empty slate: %v", out)
+	}
+	out := SolicitBatch(0, nil, slate(), LeastCost{}, SolicitOpts{})
+	if len(out) != 3 {
+		t.Fatalf("empty fleet: want 3 empty slots, got %v", out)
+	}
+	for j, bids := range out {
+		if len(bids) != 0 {
+			t.Fatalf("contract %d: bids from an empty fleet: %v", j, bids)
+		}
+	}
+}

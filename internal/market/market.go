@@ -209,6 +209,109 @@ func SolicitWith(now float64, servers []ServerPort, c *qos.Contract, crit Criter
 	return bids
 }
 
+// BatchBid is one slot of a batched request-for-bids reply: the bid for
+// the contract at the same index of the solicited slate, or a per-slot
+// decline (OK false).
+type BatchBid struct {
+	Bid bidding.Bid
+	OK  bool
+}
+
+// BatchPort is a ServerPort that can answer a whole slate of contracts
+// in one exchange — on the wire, one bid_batch_req frame instead of N
+// bid_req round trips. RequestBidBatch returns one slot per contract in
+// input order, or nil when the server declines the whole slate (e.g.
+// transport failure).
+type BatchPort interface {
+	ServerPort
+	RequestBidBatch(now float64, cs []*qos.Contract) []BatchBid
+}
+
+// SolicitBatch broadcasts a slate of contracts to the given servers in
+// one fan-out and returns, for each contract (by input order), its bids
+// ranked best-first under the criterion — exactly the ranking Solicit
+// would produce for that contract alone. Ports implementing BatchPort
+// are asked once for the whole slate; plain ServerPorts are walked
+// contract-by-contract, so a slate can mix batch-capable and legacy
+// servers and still rank consistently.
+func SolicitBatch(now float64, servers []ServerPort, cs []*qos.Contract, crit Criterion, opts SolicitOpts) [][]bidding.Bid {
+	m := len(cs)
+	if m == 0 {
+		return nil
+	}
+	out := make([][]bidding.Bid, m)
+	n := len(servers)
+	if n == 0 {
+		return out
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = DefaultFanout
+	}
+	if conc > n {
+		conc = n
+	}
+	// slots[i] is server i's reply for the whole slate; nil or a wrong
+	// length means the server forfeits every contract this auction.
+	slots := make([][]BatchBid, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				slots[i] = requestBatchTimeout(now, servers[i], cs, opts.Timeout)
+			}
+		}()
+	}
+	wg.Wait()
+	for j := 0; j < m; j++ {
+		bids := make([]bidding.Bid, 0, n)
+		for i := 0; i < n; i++ {
+			if len(slots[i]) == m && slots[i][j].OK {
+				bids = append(bids, slots[i][j].Bid)
+			}
+		}
+		rankBids(bids, crit)
+		out[j] = bids
+	}
+	return out
+}
+
+// requestBatchTimeout collects one server's bids for a slate under an
+// optional deadline, falling back to the per-contract RequestBid walk
+// for ports without batch support.
+func requestBatchTimeout(now float64, s ServerPort, cs []*qos.Contract, d time.Duration) []BatchBid {
+	call := func() []BatchBid {
+		if bp, ok := s.(BatchPort); ok {
+			return bp.RequestBidBatch(now, cs)
+		}
+		out := make([]BatchBid, len(cs))
+		for j, c := range cs {
+			out[j].Bid, out[j].OK = s.RequestBid(now, c)
+		}
+		return out
+	}
+	if d <= 0 {
+		return call()
+	}
+	ch := make(chan []BatchBid, 1)
+	go func() { ch <- call() }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-t.C:
+		return nil
+	}
+}
+
 // requestBidTimeout runs one RequestBid under an optional deadline. On
 // timeout the server forfeits: the call is abandoned (the goroutine
 // drains into a buffered channel and the transport's own deadline

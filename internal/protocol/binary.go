@@ -1,0 +1,605 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"faucets/internal/bidding"
+	"faucets/internal/qos"
+)
+
+// This file implements codec version 1: a hand-rolled binary encoding
+// for the hot auction-path message types (solicit/bid/commit/settle and
+// the nested verify), negotiated per connection with a codec_hello
+// exchange (see Negotiate / AnswerHello). JSON remains codec version 0,
+// the universal fallback: every frame self-describes its codec by its
+// first payload byte (JSON objects start '{', binary frames start
+// binMagic), so a server needs no per-connection codec state to read a
+// mixed stream, and message types without a binary encoding simply ride
+// as JSON frames on a binary-negotiated connection.
+//
+// Binary frame layout, after the usual 4-byte big-endian length prefix:
+//
+//	[0]    binMagic (0xBF — never the first byte of frame JSON)
+//	[1]    codec version (CodecBinary)
+//	[2]    message type code (binCodeOf)
+//	[3:11] frame ID, big-endian uint64
+//	[11:]  body, fixed-order fields (see append*/read* pairs)
+//
+// Scalars are fixed-width big-endian: ints as two's-complement uint64,
+// floats as IEEE-754 bits, bools one byte, strings and repeated groups
+// length-prefixed with uint32 counts.
+
+// Codec versions. The version is what hello negotiation agrees on: 0
+// means frames are JSON, 1 adds the binary encoding for hot types.
+const (
+	CodecJSON   uint8 = 0
+	CodecBinary uint8 = 1
+	// MaxCodecVersion is the newest codec this build speaks.
+	MaxCodecVersion = CodecBinary
+)
+
+// binMagic distinguishes binary payloads from JSON ones. JSON frame
+// payloads always begin with '{' (0x7B); 0xBF is also an invalid first
+// byte of any UTF-8 JSON document, so sniffing is unambiguous.
+const binMagic = 0xBF
+
+// binHeaderLen is the fixed binary header: magic, version, type code,
+// and the 8-byte frame ID.
+const binHeaderLen = 11
+
+// Binary message type codes. Code 0 is deliberately unassigned so a
+// zeroed buffer never parses as a valid frame.
+const (
+	binError       uint8 = 1
+	binBidReq      uint8 = 2
+	binBidOK       uint8 = 3
+	binCommitReq   uint8 = 4
+	binCommitOK    uint8 = 5
+	binSubmitReq   uint8 = 6
+	binSubmitOK    uint8 = 7
+	binSettleReq   uint8 = 8
+	binSettleOK    uint8 = 9
+	binPollReq     uint8 = 10
+	binPollOK      uint8 = 11
+	binVerifyReq   uint8 = 12
+	binVerifyOK    uint8 = 13
+	binBidBatchReq uint8 = 14
+	binBidBatchOK  uint8 = 15
+)
+
+// binCodeOf maps frame type strings to binary codes; binTypeOf is the
+// inverse. Types absent here are JSON-only and fall back transparently.
+var binCodeOf = map[string]uint8{
+	TypeError:       binError,
+	TypeBidReq:      binBidReq,
+	TypeBidOK:       binBidOK,
+	TypeCommitReq:   binCommitReq,
+	TypeCommitOK:    binCommitOK,
+	TypeSubmitReq:   binSubmitReq,
+	TypeSubmitOK:    binSubmitOK,
+	TypeSettleReq:   binSettleReq,
+	TypeSettleOK:    binSettleOK,
+	TypePollReq:     binPollReq,
+	TypePollOK:      binPollOK,
+	TypeVerifyReq:   binVerifyReq,
+	TypeVerifyOK:    binVerifyOK,
+	TypeBidBatchReq: binBidBatchReq,
+	TypeBidBatchOK:  binBidBatchOK,
+}
+
+var binTypeOf = [16]string{
+	binError:       TypeError,
+	binBidReq:      TypeBidReq,
+	binBidOK:       TypeBidOK,
+	binCommitReq:   TypeCommitReq,
+	binCommitOK:    TypeCommitOK,
+	binSubmitReq:   TypeSubmitReq,
+	binSubmitOK:    TypeSubmitOK,
+	binSettleReq:   TypeSettleReq,
+	binSettleOK:    TypeSettleOK,
+	binPollReq:     TypePollReq,
+	binPollOK:      TypePollOK,
+	binVerifyReq:   TypeVerifyReq,
+	binVerifyOK:    TypeVerifyOK,
+	binBidBatchReq: TypeBidBatchReq,
+	binBidBatchOK:  TypeBidBatchOK,
+}
+
+// ErrBinaryFrame wraps every malformed-binary-payload failure so callers
+// can distinguish codec corruption from JSON decode errors.
+var ErrBinaryFrame = errors.New("protocol: malformed binary frame")
+
+// --- append-style encoders -------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendI64(b []byte, v int) []byte { return appendU64(b, uint64(int64(v))) }
+
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendContract(b []byte, c *qos.Contract) []byte {
+	if c == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendStr(b, c.App)
+	b = appendI64(b, c.MinPE)
+	b = appendI64(b, c.MaxPE)
+	b = appendI64(b, c.MemPerPE)
+	b = appendI64(b, c.TotalMem)
+	b = appendF64(b, c.Work)
+	b = appendF64(b, c.EffMin)
+	b = appendF64(b, c.EffMax)
+	b = appendF64(b, c.Payoff.Soft)
+	b = appendF64(b, c.Payoff.Hard)
+	b = appendF64(b, c.Payoff.AtSoft)
+	b = appendF64(b, c.Payoff.AtHard)
+	b = appendF64(b, c.Payoff.Penalty)
+	b = appendF64(b, c.Deadline)
+	b = appendU32(b, uint32(len(c.Phases)))
+	for i := range c.Phases {
+		ph := &c.Phases[i]
+		b = appendStr(b, ph.Name)
+		b = appendF64(b, ph.Work)
+		b = appendI64(b, ph.MinPE)
+		b = appendI64(b, ph.MaxPE)
+		b = appendF64(b, ph.EffMin)
+		b = appendF64(b, ph.EffMax)
+	}
+	return b
+}
+
+func appendBid(b []byte, bd *bidding.Bid) []byte {
+	b = appendStr(b, bd.Server)
+	b = appendF64(b, bd.Price)
+	b = appendF64(b, bd.Multiplier)
+	b = appendF64(b, bd.EstCompletion)
+	b = appendF64(b, bd.ExpiresAt)
+	return b
+}
+
+// appendBinaryBody appends typ's binary body encoding for body, or
+// reports ok == false when the concrete body value has no binary
+// encoder (the caller falls back to JSON for the whole frame).
+func appendBinaryBody(dst []byte, body any) ([]byte, bool) {
+	if body == nil {
+		// No body at all (field-free requests like poll_req): the binary
+		// empty body, same semantics as an omitted JSON body.
+		return dst, true
+	}
+	switch m := body.(type) {
+	case ErrorBody:
+		return appendErrorBody(dst, &m), true
+	case *ErrorBody:
+		if m == nil {
+			return dst, false
+		}
+		return appendErrorBody(dst, m), true
+	case BidReq:
+		return appendBidReq(dst, &m), true
+	case *BidReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendBidReq(dst, m), true
+	case BidOK:
+		return appendBid(dst, &m.Bid), true
+	case *BidOK:
+		if m == nil {
+			return dst, false
+		}
+		return appendBid(dst, &m.Bid), true
+	case CommitReq:
+		return appendCommitReq(dst, &m), true
+	case *CommitReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendCommitReq(dst, m), true
+	case CommitOK:
+		return appendStr(dst, m.JobID), true
+	case *CommitOK:
+		if m == nil {
+			return dst, false
+		}
+		return appendStr(dst, m.JobID), true
+	case SubmitReq:
+		return appendSubmitReq(dst, &m), true
+	case *SubmitReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendSubmitReq(dst, m), true
+	case SubmitOK:
+		return appendStr(dst, m.JobID), true
+	case *SubmitOK:
+		if m == nil {
+			return dst, false
+		}
+		return appendStr(dst, m.JobID), true
+	case SettleReq:
+		return appendSettleReq(dst, &m), true
+	case *SettleReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendSettleReq(dst, m), true
+	case SettleOK, *SettleOK, PollReq, *PollReq:
+		return dst, true // no fields
+	case PollOK:
+		return appendPollOK(dst, &m), true
+	case *PollOK:
+		if m == nil {
+			return dst, false
+		}
+		return appendPollOK(dst, m), true
+	case VerifyReq:
+		return appendVerifyReq(dst, &m), true
+	case *VerifyReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendVerifyReq(dst, m), true
+	case VerifyOK:
+		return appendStr(dst, m.User), true
+	case *VerifyOK:
+		if m == nil {
+			return dst, false
+		}
+		return appendStr(dst, m.User), true
+	case BidBatchReq:
+		return appendBidBatchReq(dst, &m), true
+	case *BidBatchReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendBidBatchReq(dst, m), true
+	case BidBatchOK:
+		return appendBidBatchOK(dst, &m), true
+	case *BidBatchOK:
+		if m == nil {
+			return dst, false
+		}
+		return appendBidBatchOK(dst, m), true
+	}
+	return dst, false
+}
+
+func appendErrorBody(b []byte, m *ErrorBody) []byte {
+	b = appendStr(b, m.Message)
+	return appendBool(b, m.Retryable)
+}
+
+func appendBidReq(b []byte, m *BidReq) []byte {
+	b = appendStr(b, m.User)
+	b = appendStr(b, m.Token)
+	return appendContract(b, m.Contract)
+}
+
+func appendCommitReq(b []byte, m *CommitReq) []byte {
+	b = appendStr(b, m.User)
+	b = appendStr(b, m.Token)
+	b = appendStr(b, m.JobID)
+	return appendBid(b, &m.Bid)
+}
+
+func appendSubmitReq(b []byte, m *SubmitReq) []byte {
+	b = appendStr(b, m.User)
+	b = appendStr(b, m.Token)
+	b = appendStr(b, m.JobID)
+	return appendContract(b, m.Contract)
+}
+
+func appendSettleReq(b []byte, m *SettleReq) []byte {
+	b = appendStr(b, m.JobID)
+	b = appendStr(b, m.User)
+	b = appendStr(b, m.Server)
+	b = appendStr(b, m.HomeCluster)
+	b = appendStr(b, m.App)
+	b = appendI64(b, m.MinPE)
+	b = appendI64(b, m.MaxPE)
+	b = appendF64(b, m.Price)
+	return appendF64(b, m.CPUSeconds)
+}
+
+func appendPollOK(b []byte, m *PollOK) []byte {
+	b = appendI64(b, m.UsedPE)
+	b = appendI64(b, m.QueueLen)
+	return appendI64(b, m.Running)
+}
+
+func appendVerifyReq(b []byte, m *VerifyReq) []byte {
+	b = appendStr(b, m.User)
+	return appendStr(b, m.Token)
+}
+
+func appendBidBatchReq(b []byte, m *BidBatchReq) []byte {
+	b = appendStr(b, m.User)
+	b = appendStr(b, m.Token)
+	b = appendU32(b, uint32(len(m.Contracts)))
+	for _, c := range m.Contracts {
+		b = appendContract(b, c)
+	}
+	return b
+}
+
+func appendBidBatchOK(b []byte, m *BidBatchOK) []byte {
+	b = appendU32(b, uint32(len(m.Bids)))
+	for i := range m.Bids {
+		it := &m.Bids[i]
+		b = appendBool(b, it.OK)
+		b = appendBid(b, &it.Bid)
+	}
+	return b
+}
+
+// --- reader ----------------------------------------------------------
+
+// breader consumes a binary body front to back. The first short read or
+// bounds violation latches err; subsequent reads return zero values, so
+// decoders read straight through and check err once.
+type breader struct {
+	b   []byte
+	err error
+}
+
+func (r *breader) fail() {
+	if r.err == nil {
+		r.err = ErrBinaryFrame
+	}
+	r.b = nil
+}
+
+func (r *breader) take(n int) []byte {
+	if len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	p := r.b[:n]
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *breader) u8() byte {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *breader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (r *breader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (r *breader) i64() int      { return int(int64(r.u64())) }
+func (r *breader) f64() float64  { return math.Float64frombits(r.u64()) }
+func (r *breader) boolean() bool { return r.u8() != 0 }
+
+func (r *breader) str() string {
+	n := r.u32()
+	if uint64(n) > uint64(len(r.b)) {
+		r.fail()
+		return ""
+	}
+	p := r.take(int(n))
+	return string(p)
+}
+
+// count reads a repeated-group count, bounding it by the bytes left so a
+// corrupt prefix cannot drive a huge slice allocation.
+func (r *breader) count() int {
+	n := r.u32()
+	if uint64(n) > uint64(len(r.b)) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (r *breader) contract() *qos.Contract {
+	if !r.boolean() {
+		return nil
+	}
+	var c qos.Contract
+	c.App = r.str()
+	c.MinPE = r.i64()
+	c.MaxPE = r.i64()
+	c.MemPerPE = r.i64()
+	c.TotalMem = r.i64()
+	c.Work = r.f64()
+	c.EffMin = r.f64()
+	c.EffMax = r.f64()
+	c.Payoff.Soft = r.f64()
+	c.Payoff.Hard = r.f64()
+	c.Payoff.AtSoft = r.f64()
+	c.Payoff.AtHard = r.f64()
+	c.Payoff.Penalty = r.f64()
+	c.Deadline = r.f64()
+	if n := r.count(); n > 0 {
+		c.Phases = make([]qos.Phase, n)
+		for i := range c.Phases {
+			ph := &c.Phases[i]
+			ph.Name = r.str()
+			ph.Work = r.f64()
+			ph.MinPE = r.i64()
+			ph.MaxPE = r.i64()
+			ph.EffMin = r.f64()
+			ph.EffMax = r.f64()
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return &c
+}
+
+func (r *breader) bid(b *bidding.Bid) {
+	b.Server = r.str()
+	b.Price = r.f64()
+	b.Multiplier = r.f64()
+	b.EstCompletion = r.f64()
+	b.ExpiresAt = r.f64()
+}
+
+// done verifies the body was consumed exactly; trailing bytes mean a
+// framing bug or corruption, not a forward-compatible extension (those
+// get a new codec version).
+func (r *breader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBinaryFrame, len(r.b))
+	}
+	return nil
+}
+
+// decodeBinaryBody decodes a binary body of type typ into v. The fast
+// path hits the exact pointer type a caller passes; *any (used by fuzz
+// and generic plumbing) receives the decoded value boxed.
+func decodeBinaryBody(typ string, data []byte, v any) error {
+	r := breader{b: data}
+	switch typ {
+	case TypeError:
+		var m ErrorBody
+		m.Message = r.str()
+		m.Retryable = r.boolean()
+		return storeBody(&r, typ, v, m)
+	case TypeBidReq:
+		var m BidReq
+		m.User = r.str()
+		m.Token = r.str()
+		m.Contract = r.contract()
+		return storeBody(&r, typ, v, m)
+	case TypeBidOK:
+		var m BidOK
+		r.bid(&m.Bid)
+		return storeBody(&r, typ, v, m)
+	case TypeCommitReq:
+		var m CommitReq
+		m.User = r.str()
+		m.Token = r.str()
+		m.JobID = r.str()
+		r.bid(&m.Bid)
+		return storeBody(&r, typ, v, m)
+	case TypeCommitOK:
+		return storeBody(&r, typ, v, CommitOK{JobID: r.str()})
+	case TypeSubmitReq:
+		var m SubmitReq
+		m.User = r.str()
+		m.Token = r.str()
+		m.JobID = r.str()
+		m.Contract = r.contract()
+		return storeBody(&r, typ, v, m)
+	case TypeSubmitOK:
+		return storeBody(&r, typ, v, SubmitOK{JobID: r.str()})
+	case TypeSettleReq:
+		var m SettleReq
+		m.JobID = r.str()
+		m.User = r.str()
+		m.Server = r.str()
+		m.HomeCluster = r.str()
+		m.App = r.str()
+		m.MinPE = r.i64()
+		m.MaxPE = r.i64()
+		m.Price = r.f64()
+		m.CPUSeconds = r.f64()
+		return storeBody(&r, typ, v, m)
+	case TypeSettleOK:
+		return storeBody(&r, typ, v, SettleOK{})
+	case TypePollReq:
+		return storeBody(&r, typ, v, PollReq{})
+	case TypePollOK:
+		var m PollOK
+		m.UsedPE = r.i64()
+		m.QueueLen = r.i64()
+		m.Running = r.i64()
+		return storeBody(&r, typ, v, m)
+	case TypeVerifyReq:
+		var m VerifyReq
+		m.User = r.str()
+		m.Token = r.str()
+		return storeBody(&r, typ, v, m)
+	case TypeVerifyOK:
+		return storeBody(&r, typ, v, VerifyOK{User: r.str()})
+	case TypeBidBatchReq:
+		var m BidBatchReq
+		m.User = r.str()
+		m.Token = r.str()
+		if n := r.count(); n > 0 {
+			m.Contracts = make([]*qos.Contract, n)
+			for i := range m.Contracts {
+				m.Contracts[i] = r.contract()
+			}
+		}
+		return storeBody(&r, typ, v, m)
+	case TypeBidBatchOK:
+		var m BidBatchOK
+		if n := r.count(); n > 0 {
+			m.Bids = make([]BidBatchItem, n)
+			for i := range m.Bids {
+				m.Bids[i].OK = r.boolean()
+				r.bid(&m.Bids[i].Bid)
+			}
+		}
+		return storeBody(&r, typ, v, m)
+	}
+	return fmt.Errorf("%w: no binary decoder for type %q", ErrBinaryFrame, typ)
+}
+
+// storeBody finishes a decode: bounds check, then assign m into the
+// caller's target.
+func storeBody[T any](r *breader, typ string, v any, m T) error {
+	if err := r.done(); err != nil {
+		return fmt.Errorf("protocol: decode %s body: %w", typ, err)
+	}
+	switch t := v.(type) {
+	case *T:
+		*t = m
+		return nil
+	case *any:
+		*t = m
+		return nil
+	}
+	return fmt.Errorf("protocol: decode %s body: target %T does not match binary type", typ, v)
+}

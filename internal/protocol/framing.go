@@ -3,8 +3,12 @@
 // Client ↔ Faucets Daemon, Daemon ↔ Central Server, Daemon ↔ AppSpector,
 // and Client ↔ AppSpector.
 //
-// Frames are length-prefixed JSON: a 4-byte big-endian payload length
-// followed by a JSON object {"type": ..., "body": ...}. Length-prefixing
+// Frames are length-prefixed: a 4-byte big-endian payload length
+// followed by the payload in one of two codecs. Codec 0 is a JSON
+// object {"type": ..., "body": ...}; codec 1 (see binary.go) is a
+// compact binary encoding for the hot auction-path message types,
+// negotiated per connection. The payload's first byte identifies the
+// codec, so readers handle mixed streams statelessly. Length-prefixing
 // (rather than newline-delimiting) keeps file-staging payloads and
 // embedded output text unconstrained.
 package protocol
@@ -15,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // MaxFrame bounds a single frame (16 MiB): large enough for a staging
@@ -22,64 +29,203 @@ import (
 // the moon.
 const MaxFrame = 16 << 20
 
+// maxPooledBuf caps the encode buffers kept in the write pool; a rare
+// huge frame (file staging) should not pin megabytes per P forever.
+const maxPooledBuf = 64 << 10
+
 // Frame is one protocol message. ID correlates pipelined
 // request/response pairs on a shared connection: a pooled caller stamps
 // each request with a connection-unique ID and the server echoes it on
 // the reply, so multiple in-flight calls can demultiplex answers from
-// one stream. One-shot exchanges leave it zero (omitted on the wire).
+// one stream. One-shot exchanges stamp a process-unique ID for the same
+// reason (stale-reply detection, see Call).
 type Frame struct {
 	ID   uint64          `json:"id,omitempty"`
 	Type string          `json:"type"`
 	Body json.RawMessage `json:"body,omitempty"`
+
+	// codec records which encoding Body uses (CodecJSON or CodecBinary)
+	// so Decode picks the right parser and ReplyConn echoes in kind.
+	codec uint8
 }
+
+// Codec reports the encoding the frame arrived in.
+func (f Frame) Codec() uint8 { return f.codec }
 
 // Framing errors.
 var (
 	ErrFrameTooBig = errors.New("protocol: frame exceeds MaxFrame")
 	ErrBadType     = errors.New("protocol: unexpected frame type")
+	// ErrEmptyBody rejects a reply whose type requires fields but whose
+	// body is missing — a zero-valued struct must not impersonate data.
+	ErrEmptyBody = errors.New("protocol: empty frame body")
 )
 
-// WriteFrame encodes body as JSON and writes a framed message to w.
-// When w carries a frame ID (a *ReplyConn on the server side), the
-// frame is stamped with it so pipelined callers can match the reply to
-// their request.
+// IDMismatchError reports a reply frame whose ID does not match the
+// request it should answer — the signature of a stale reply left on a
+// reused connection by a timed-out earlier call.
+type IDMismatchError struct {
+	Want, Got uint64
+}
+
+func (e *IDMismatchError) Error() string {
+	return fmt.Sprintf("protocol: reply frame ID mismatch: got %d, want %d", e.Got, e.Want)
+}
+
+// allowEmptyBody lists the frame types whose bodies are legitimately
+// field-free, so an absent body decodes to their zero value. Every other
+// type carries required fields and an empty body is a protocol error.
+var allowEmptyBody = map[string]bool{
+	TypeError:        true, // diagnostic: a bare error frame still signals failure
+	TypeRegisterOK:   true,
+	TypePollReq:      true,
+	TypeSettleOK:     true,
+	TypeWeatherReq:   true,
+	TypeASRegisterOK: true,
+	TypeWatchEnd:     true,
+}
+
+// writeBufPool recycles frame encode buffers so the steady-state hot
+// path allocates nothing for framing.
+var writeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// WriteFrame encodes body and writes a framed message to w as a single
+// Write call, so frames from writers not sharing a mutex never
+// interleave and each frame leaves in one segment. When w carries reply
+// metadata (a *ReplyConn on the server side), the frame echoes the
+// in-flight request's ID and codec so pipelined callers can match the
+// reply to their request in the encoding they used.
 func WriteFrame(w io.Writer, typ string, body any) error {
 	id := uint64(0)
 	if rc, ok := w.(interface{ FrameID() uint64 }); ok {
 		id = rc.FrameID()
 	}
-	return writeFrameID(w, id, typ, body)
+	return writeFrameCodec(w, frameCodecOf(w), id, typ, body)
 }
 
-// writeFrameID writes one frame with an explicit request ID.
+// frameCodecOf resolves the codec a writer's frames should use: binary
+// only when the writer (ReplyConn, negotiated conn wrapper) asks for it.
+func frameCodecOf(w io.Writer) uint8 {
+	if cc, ok := w.(interface{ FrameCodec() uint8 }); ok {
+		return cc.FrameCodec()
+	}
+	return CodecJSON
+}
+
+// writeFrameID writes one frame with an explicit request ID (JSON
+// codec), the path pooled callers used before codecs were negotiable.
 func writeFrameID(w io.Writer, id uint64, typ string, body any) error {
-	var raw json.RawMessage
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("protocol: marshal %s: %w", typ, err)
-		}
-		raw = b
-	}
-	payload, err := json.Marshal(Frame{ID: id, Type: typ, Body: raw})
-	if err != nil {
-		return fmt.Errorf("protocol: marshal frame: %w", err)
-	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(payload))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("protocol: write header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("protocol: write payload: %w", err)
-	}
-	return nil
+	return writeFrameCodec(w, CodecJSON, id, typ, body)
 }
 
-// ReadFrame reads one framed message from r.
+// writeFrameCodec encodes the frame into a pooled buffer and writes it
+// with one Write call.
+func writeFrameCodec(w io.Writer, codec uint8, id uint64, typ string, body any) error {
+	bp := writeBufPool.Get().(*[]byte)
+	buf, err := AppendFrame((*bp)[:0], codec, id, typ, body)
+	if err == nil {
+		if _, werr := w.Write(buf); werr != nil {
+			err = fmt.Errorf("protocol: write frame: %w", werr)
+		}
+	}
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		writeBufPool.Put(bp)
+	}
+	return err
+}
+
+// AppendFrame appends one complete frame — length prefix included — to
+// dst and returns the extended slice. codec is the connection's
+// negotiated ceiling: with CodecBinary, types that have a binary
+// encoding use it and everything else falls back to JSON, which any
+// peer reads statelessly. The append style lets hot paths encode into
+// reused buffers with zero per-frame allocations.
+func AppendFrame(dst []byte, codec uint8, id uint64, typ string, body any) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length back-patched below
+	encoded := false
+	if codec >= CodecBinary {
+		if code, known := binCodeOf[typ]; known {
+			mark := len(dst)
+			dst = append(dst, binMagic, CodecBinary, code)
+			dst = appendU64(dst, id)
+			if out, ok := appendBinaryBody(dst, body); ok {
+				dst, encoded = out, true
+			} else {
+				dst = dst[:mark] // body value has no binary encoder: JSON
+			}
+		}
+	}
+	if !encoded {
+		var err error
+		if dst, err = appendJSONFrame(dst, id, typ, body); err != nil {
+			return dst[:start], err
+		}
+	}
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// appendJSONFrame assembles the {"id","type","body"} envelope by hand —
+// one json.Marshal for the body instead of the old body-then-envelope
+// double encode.
+func appendJSONFrame(dst []byte, id uint64, typ string, body any) ([]byte, error) {
+	dst = append(dst, '{')
+	if id != 0 {
+		dst = append(dst, `"id":`...)
+		dst = strconv.AppendUint(dst, id, 10)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, `"type":`...)
+	dst = appendJSONString(dst, typ)
+	if body != nil {
+		dst = append(dst, `,"body":`...)
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return dst, fmt.Errorf("protocol: marshal %s: %w", typ, err)
+		}
+		dst = append(dst, raw...)
+	}
+	return append(dst, '}'), nil
+}
+
+// appendJSONString quotes s as a JSON string. The protocol's type names
+// are plain ASCII, so the fast path is a straight copy; anything needing
+// escapes takes the encoding/json path.
+func appendJSONString(dst []byte, s string) []byte {
+	plain := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	raw, err := json.Marshal(s)
+	if err != nil { // unreachable: strings always marshal
+		return append(dst, `""`...)
+	}
+	return append(dst, raw...)
+}
+
+// ReadFrame reads one framed message from r, allocating a fresh payload
+// buffer — safe to hand across goroutines (the pool's read loop does).
+// Handler loops that consume each frame before reading the next should
+// prefer FrameReader, which reuses its buffer.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -93,6 +239,35 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, fmt.Errorf("protocol: read payload: %w", err)
 	}
+	return parsePayload(payload)
+}
+
+// parsePayload decodes one frame payload, sniffing the codec from the
+// first byte: JSON frames always open with '{', binary frames with
+// binMagic (never a legal first byte of JSON).
+func parsePayload(payload []byte) (Frame, error) {
+	if len(payload) > 0 && payload[0] == binMagic {
+		if len(payload) < binHeaderLen {
+			return Frame{}, fmt.Errorf("%w: truncated header (%d bytes)", ErrBinaryFrame, len(payload))
+		}
+		if v := payload[1]; v != CodecBinary {
+			return Frame{}, fmt.Errorf("%w: unsupported codec version %d", ErrBinaryFrame, v)
+		}
+		code := payload[2]
+		var typ string
+		if int(code) < len(binTypeOf) {
+			typ = binTypeOf[code]
+		}
+		if typ == "" {
+			return Frame{}, fmt.Errorf("%w: unknown type code %d", ErrBinaryFrame, code)
+		}
+		return Frame{
+			ID:    binary.BigEndian.Uint64(payload[3:11]),
+			Type:  typ,
+			Body:  payload[binHeaderLen:],
+			codec: CodecBinary,
+		}, nil
+	}
 	var f Frame
 	if err := json.Unmarshal(payload, &f); err != nil {
 		return Frame{}, fmt.Errorf("protocol: decode frame: %w", err)
@@ -100,7 +275,43 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
+// FrameReader reads frames from one connection reusing a single payload
+// buffer: a server handler loop that fully consumes each frame before
+// calling Next again pays no per-frame payload allocation. The returned
+// Frame's Body may alias the internal buffer and is valid only until
+// the next call to Next; anything retained past that must be copied.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r for buffer-reusing frame reads.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads and parses the next frame.
+func (fr *FrameReader) Next() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if cap(fr.buf) < n || cap(fr.buf) > maxPooledBuf && n <= maxPooledBuf {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return Frame{}, fmt.Errorf("protocol: read payload: %w", err)
+	}
+	return parsePayload(payload)
+}
+
 // Decode unmarshals a frame body into v, checking the frame type first.
+// An empty body is accepted only for the field-free types in
+// allowEmptyBody; for anything else it reports ErrEmptyBody rather than
+// letting a zero-valued struct flow onward as real data.
 func Decode(f Frame, wantType string, v any) error {
 	if f.Type != wantType {
 		return fmt.Errorf("%w: got %q, want %q", ErrBadType, f.Type, wantType)
@@ -109,7 +320,13 @@ func Decode(f Frame, wantType string, v any) error {
 		return nil
 	}
 	if len(f.Body) == 0 {
-		return nil
+		if allowEmptyBody[f.Type] {
+			return nil
+		}
+		return fmt.Errorf("%w: %s requires fields", ErrEmptyBody, f.Type)
+	}
+	if f.codec == CodecBinary {
+		return decodeBinaryBody(f.Type, f.Body, v)
 	}
 	if err := json.Unmarshal(f.Body, v); err != nil {
 		return fmt.Errorf("protocol: decode %s body: %w", f.Type, err)
@@ -117,16 +334,28 @@ func Decode(f Frame, wantType string, v any) error {
 	return nil
 }
 
+// oneShotID stamps one-shot Call requests with process-unique IDs so a
+// stale reply left on a reused connection can be detected.
+var oneShotID atomic.Uint64
+
 // Call writes a request frame and reads the reply, decoding it into
 // reply if the reply type matches wantReply. It is the client-side
-// helper for every simple request/response exchange in the system.
+// helper for every simple request/response exchange in the system. The
+// request carries a unique frame ID; a reply echoing a different
+// non-zero ID is a stale answer to an earlier request and fails with
+// *IDMismatchError instead of being silently accepted. (A zero reply ID
+// is tolerated for peers predating ID echo.)
 func Call(rw io.ReadWriter, reqType string, req any, wantReply string, reply any) error {
-	if err := WriteFrame(rw, reqType, req); err != nil {
+	id := oneShotID.Add(1)
+	if err := writeFrameCodec(rw, frameCodecOf(rw), id, reqType, req); err != nil {
 		return err
 	}
 	f, err := ReadFrame(rw)
 	if err != nil {
 		return err
+	}
+	if f.ID != 0 && f.ID != id {
+		return &IDMismatchError{Want: id, Got: f.ID}
 	}
 	if f.Type == TypeError {
 		var e ErrorBody
@@ -148,20 +377,30 @@ func WriteErrorFrom(w io.Writer, err error) error {
 }
 
 // ReplyConn wraps a server-side connection so reply frames echo the ID
-// of the request being answered. A handler loop calls SetID with each
-// request's ID before dispatching; WriteFrame picks the ID up through
-// FrameID. Handler loops are single-goroutine per connection, so no
+// and codec of the request being answered. A handler loop calls SetEcho
+// with each request frame before dispatching; WriteFrame picks the
+// metadata up through FrameID/FrameCodec, so a binary request gets a
+// binary reply and a JSON request a JSON one on the very same
+// connection. Handler loops are single-goroutine per connection, so no
 // synchronization is needed.
 type ReplyConn struct {
 	io.ReadWriter
-	id uint64
+	id    uint64
+	codec uint8
 }
 
-// NewReplyConn wraps rw for ID-stamped replies.
+// NewReplyConn wraps rw for echo-stamped replies.
 func NewReplyConn(rw io.ReadWriter) *ReplyConn { return &ReplyConn{ReadWriter: rw} }
 
-// SetID records the in-flight request's ID for the next replies.
+// SetEcho records the in-flight request's ID and codec for the replies.
+func (rc *ReplyConn) SetEcho(f Frame) { rc.id, rc.codec = f.ID, f.codec }
+
+// SetID records the in-flight request's ID for the next replies (JSON
+// codec; SetEcho supersedes it where the request frame is at hand).
 func (rc *ReplyConn) SetID(id uint64) { rc.id = id }
 
 // FrameID returns the ID replies are stamped with.
 func (rc *ReplyConn) FrameID() uint64 { return rc.id }
+
+// FrameCodec returns the codec replies are encoded with.
+func (rc *ReplyConn) FrameCodec() uint8 { return rc.codec }

@@ -3,26 +3,45 @@ package protocol
 import (
 	"bytes"
 	"testing"
+
+	"faucets/internal/bidding"
+	"faucets/internal/qos"
 )
 
 // FuzzReadFrame throws arbitrary bytes at the frame decoder: it must
 // never panic or allocate unbounded memory, only return errors.
 func FuzzReadFrame(f *testing.F) {
-	// Seed with a valid frame and a few corruptions.
+	// Seed with a valid frame of each codec and a few corruptions.
 	var good bytes.Buffer
 	_ = WriteFrame(&good, TypeAuthReq, AuthReq{User: "u", Password: "p"})
 	f.Add(good.Bytes())
+	if bin, err := AppendFrame(nil, CodecBinary, 1, TypeVerifyReq, VerifyReq{User: "u", Token: "t"}); err == nil {
+		f.Add(bin)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, '{'})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 0, 0, 5, 'h', 'e', 'l', 'l', 'o'})
+	f.Add([]byte{0, 0, 0, 12, binMagic, 1, 12, 0, 0, 0, 0, 0, 0, 0, 1, 9})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		// Decoded frames must round-trip through the writer.
+		if fr.Codec() == CodecBinary {
+			// Binary bodies are raw bytes; structured decode may refuse a
+			// crafted body, but a body that decodes must re-encode.
+			var v any
+			if err := Decode(fr, fr.Type, &v); err != nil {
+				return
+			}
+			if _, err := AppendFrame(nil, CodecBinary, fr.ID, fr.Type, v); err != nil {
+				t.Fatalf("re-encode of decoded binary frame failed: %v", err)
+			}
+			return
+		}
+		// Decoded JSON frames must round-trip through the writer.
 		var buf bytes.Buffer
 		if fr.Body != nil {
 			var v any
@@ -30,6 +49,64 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if err := WriteFrame(&buf, fr.Type, fr.Body); err != nil {
 			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+	})
+}
+
+// FuzzBinaryFrameRoundtrip mirrors FuzzReadFrame for the binary codec:
+// any crafted payload that parses and decodes must re-encode to a frame
+// that parses and decodes to byte-identical canonical bytes. Comparing
+// the two canonical encodings (rather than decoded structs) keeps NaN
+// float bit patterns from tripping a struct comparison.
+func FuzzBinaryFrameRoundtrip(f *testing.F) {
+	seed := func(typ string, id uint64, body any) {
+		b, err := AppendFrame(nil, CodecBinary, id, typ, body)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	contract := &qos.Contract{App: "a", MinPE: 1, MaxPE: 8, Work: 100,
+		Phases: []qos.Phase{{Name: "p", Work: 100, MinPE: 1, MaxPE: 8}}}
+	bid := bidding.Bid{Server: "s", Price: 1.5, Multiplier: 1.1, EstCompletion: 10, ExpiresAt: 20}
+	seed(TypeError, 1, ErrorBody{Message: "m", Retryable: true})
+	seed(TypeBidReq, 2, BidReq{User: "u", Token: "t", Contract: contract})
+	seed(TypeBidOK, 3, BidOK{Bid: bid})
+	seed(TypeCommitReq, 4, CommitReq{User: "u", Token: "t", JobID: "j", Bid: bid})
+	seed(TypeSubmitReq, 5, SubmitReq{User: "u", Token: "t", JobID: "j", Contract: contract})
+	seed(TypeSettleReq, 6, SettleReq{JobID: "j", User: "u", Server: "s", Price: 1, CPUSeconds: 2})
+	seed(TypePollOK, 7, PollOK{UsedPE: 1, QueueLen: 2, Running: 3})
+	seed(TypeVerifyReq, 8, VerifyReq{User: "u", Token: "t"})
+	seed(TypeBidBatchReq, 9, BidBatchReq{User: "u", Token: "t", Contracts: []*qos.Contract{contract, nil}})
+	seed(TypeBidBatchOK, 10, BidBatchOK{Bids: []BidBatchItem{{OK: true, Bid: bid}, {}}})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil || fr.Codec() != CodecBinary {
+			return
+		}
+		var v any
+		if err := Decode(fr, fr.Type, &v); err != nil {
+			return // malformed body: rejected is the correct outcome
+		}
+		out, err := AppendFrame(nil, CodecBinary, fr.ID, fr.Type, v)
+		if err != nil {
+			t.Fatalf("re-encode failed for decodable %s: %v", fr.Type, err)
+		}
+		fr2, err := ReadFrame(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("canonical encoding unreadable: %v", err)
+		}
+		var v2 any
+		if err := Decode(fr2, fr2.Type, &v2); err != nil {
+			t.Fatalf("canonical encoding undecodable: %v", err)
+		}
+		out2, err := AppendFrame(nil, CodecBinary, fr2.ID, fr2.Type, v2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("binary canonical form unstable for %s:\n first %x\nsecond %x", fr.Type, out, out2)
 		}
 	})
 }

@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Codec negotiation: a dialer that wants the binary codec opens the
+// connection with a JSON codec_hello frame naming the newest codec
+// version it speaks; the server answers codec_ok with the highest
+// version both sides support. The hello itself is always JSON, so it is
+// readable by every server ever shipped — a peer predating the exchange
+// answers with a TypeError frame ("unsupported frame"), which the
+// dialer treats as "JSON only". Negotiation happens once per
+// connection, before the connection joins a pool, so the round trip is
+// amortized over the connection's lifetime; one-shot exchanges skip it
+// and stay JSON.
+
+// Codec negotiation frame types.
+const (
+	TypeCodecHello = "codec_hello"
+	TypeCodecOK    = "codec_ok"
+)
+
+// CodecHello asks the server to switch the connection to a newer codec.
+type CodecHello struct {
+	// MaxVersion is the newest codec version the dialer speaks.
+	MaxVersion uint8 `json:"max_version"`
+}
+
+// CodecOK answers with the agreed version: min(server max, hello max).
+type CodecOK struct {
+	Version uint8 `json:"version"`
+}
+
+// CodecObserver is the optional extension of PoolObserver that receives
+// the outcome of each connection's codec negotiation;
+// telemetry.PoolMetrics implements it (faucets_rpc_codec series).
+type CodecObserver interface {
+	CodecNegotiated(version int)
+}
+
+// ParseWireCodec maps a -wire-codec flag value to the highest codec
+// version a component should negotiate or accept: "auto" and "binary"
+// allow the binary codec, "json" pins the JSON wire format (debugging,
+// or talking to peers that must never see binary frames). The empty
+// string means auto.
+func ParseWireCodec(s string) (uint8, error) {
+	switch s {
+	case "", "auto", "binary":
+		return MaxCodecVersion, nil
+	case "json":
+		return CodecJSON, nil
+	}
+	return 0, fmt.Errorf("protocol: unknown wire codec %q (want auto, binary, or json)", s)
+}
+
+// Negotiate performs the codec hello exchange on a fresh connection and
+// returns the agreed version. A peer that does not speak the exchange —
+// an older server answering with a TypeError frame, or a stub answering
+// with some fixed reply type — selects CodecJSON; only transport
+// failures are returned as errors, since they mean the connection
+// itself is unusable. The exchange is bounded by timeout (zero =
+// DefaultCallTimeout).
+func Negotiate(conn net.Conn, timeout time.Duration) (uint8, error) {
+	if err := conn.SetDeadline(time.Now().Add(Timeout(timeout))); err != nil {
+		return 0, fmt.Errorf("protocol: set deadline: %w", err)
+	}
+	defer conn.SetDeadline(time.Time{})
+	var ok CodecOK
+	err := Call(conn, TypeCodecHello, CodecHello{MaxVersion: MaxCodecVersion}, TypeCodecOK, &ok)
+	if err != nil {
+		var remote *RemoteError
+		var mismatch *IDMismatchError
+		if errors.As(err, &remote) || errors.As(err, &mismatch) ||
+			errors.Is(err, ErrBadType) || errors.Is(err, ErrEmptyBody) {
+			return CodecJSON, nil
+		}
+		return 0, err
+	}
+	if ok.Version > MaxCodecVersion {
+		// A buggy peer offering more than we asked for: stay JSON rather
+		// than emit frames it may mean differently.
+		return CodecJSON, nil
+	}
+	return ok.Version, nil
+}
+
+// AnswerHello replies to a codec_hello frame on behalf of a server that
+// speaks codecs up to maxVersion ("json"-pinned servers pass CodecJSON
+// and keep every connection on JSON). The reply is written through w so
+// ReplyConn echo stamping applies; it is always JSON, since the dialer
+// has not switched codecs yet.
+func AnswerHello(w io.Writer, f Frame, maxVersion uint8) error {
+	var h CodecHello
+	if err := Decode(f, TypeCodecHello, &h); err != nil {
+		return err
+	}
+	v := maxVersion
+	if h.MaxVersion < v {
+		v = h.MaxVersion
+	}
+	return WriteFrame(w, TypeCodecOK, CodecOK{Version: v})
+}

@@ -1,0 +1,227 @@
+package protocol
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// codecEchoServer answers codec_hello up to maxVersion and PollReq with
+// PollOK, echoing each request's codec — the shape every real component
+// shares. It records the codec of the last poll request it served.
+type codecEchoServer struct {
+	l          net.Listener
+	maxVersion uint8
+	lastCodec  atomic.Int32
+	binFrames  atomic.Int64
+	jsonFrames atomic.Int64
+}
+
+func startCodecEcho(t *testing.T, maxVersion uint8) *codecEchoServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s := &codecEchoServer{l: l, maxVersion: maxVersion}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				rc := NewReplyConn(conn)
+				fr := NewFrameReader(conn)
+				for {
+					f, err := fr.Next()
+					if err != nil {
+						return
+					}
+					rc.SetEcho(f)
+					switch f.Type {
+					case TypeCodecHello:
+						_ = AnswerHello(rc, f, s.maxVersion)
+					case TypePollReq:
+						s.lastCodec.Store(int32(f.Codec()))
+						if f.Codec() == CodecBinary {
+							s.binFrames.Add(1)
+						} else {
+							s.jsonFrames.Add(1)
+						}
+						_ = WriteFrame(rc, TypePollOK, PollOK{UsedPE: 7})
+					default:
+						_ = WriteError(rc, "unexpected "+f.Type)
+					}
+				}
+			}()
+		}
+	}()
+	return s
+}
+
+func (s *codecEchoServer) addr() string { return s.l.Addr().String() }
+
+// codecCountObs records negotiated codec versions.
+type codecCountObs struct {
+	countingPoolObs
+	negotiated [2]atomic.Int64
+}
+
+func (o *codecCountObs) CodecNegotiated(version int) {
+	if version >= 0 && version < len(o.negotiated) {
+		o.negotiated[version].Add(1)
+	}
+}
+
+// TestNegotiationMatrix runs the interop matrix over real sockets (run
+// under -race in CI): a binary-capable pool against a binary server, the
+// same pool against a JSON-only peer, and a JSON-pinned pool against a
+// binary-capable server. Every pairing must complete calls, and the
+// request codec the server observes must match the negotiated floor.
+func TestNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		poolCodec  string
+		serverMax  uint8
+		wantOnWire uint8
+	}{
+		{"binary-to-binary", "binary", MaxCodecVersion, CodecBinary},
+		{"binary-to-json-only", "binary", CodecJSON, CodecJSON},
+		{"json-pinned-to-binary", "json", MaxCodecVersion, CodecJSON},
+		{"auto-to-binary", "", MaxCodecVersion, CodecBinary},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := startCodecEcho(t, tc.serverMax)
+			obs := &codecCountObs{}
+			p := &Pool{Codec: tc.poolCodec, PoolObs: obs}
+			defer p.Close()
+			for i := 0; i < 4; i++ {
+				var reply PollOK
+				if err := p.Call(s.addr(), 2*time.Second, TypePollReq, nil, TypePollOK, &reply); err != nil {
+					t.Fatalf("call %d: %v", i, err)
+				}
+				if reply.UsedPE != 7 {
+					t.Fatalf("call %d: reply body lost: %+v", i, reply)
+				}
+			}
+			if got := uint8(s.lastCodec.Load()); got != tc.wantOnWire {
+				t.Fatalf("server saw codec %d, want %d", got, tc.wantOnWire)
+			}
+			if tc.poolCodec != "json" {
+				if obs.negotiated[tc.wantOnWire].Load() == 0 {
+					t.Fatalf("CodecNegotiated(%d) never observed", tc.wantOnWire)
+				}
+			}
+		})
+	}
+}
+
+// TestNegotiationLegacyPeerFallsBackToJSON: a peer predating the hello
+// exchange answers codec_hello with a TypeError frame; the pool must
+// fall back to JSON and keep working rather than failing the dial.
+func TestNegotiationLegacyPeerFallsBackToJSON(t *testing.T) {
+	s := startPoolEcho(t) // answers anything but poll_req with an error frame
+	p := &Pool{Codec: "binary"}
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		var reply PollOK
+		if err := p.Call(s.addr(), 2*time.Second, TypePollReq, nil, TypePollOK, &reply); err != nil {
+			t.Fatalf("call %d against legacy peer: %v", i, err)
+		}
+	}
+	if got := s.accepts.Load(); got != 1 {
+		t.Fatalf("fallback should keep the pooled connection: %d accepts", got)
+	}
+}
+
+// TestNegotiationMixedVersionsAfterRestart models a rolling downgrade:
+// the pool negotiates binary with a server, the server restarts on the
+// same address as JSON-only, and the pool's redial must renegotiate down
+// to JSON instead of assuming the old connection's codec.
+func TestNegotiationMixedVersionsAfterRestart(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	serve := func(maxVersion uint8) (*codecEchoServer, func()) {
+		var ln net.Listener
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("relisten %s: %v", addr, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		s := &codecEchoServer{l: ln, maxVersion: maxVersion}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					rc := NewReplyConn(conn)
+					fr := NewFrameReader(conn)
+					for {
+						f, err := fr.Next()
+						if err != nil {
+							return
+						}
+						rc.SetEcho(f)
+						switch f.Type {
+						case TypeCodecHello:
+							_ = AnswerHello(rc, f, s.maxVersion)
+						case TypePollReq:
+							s.lastCodec.Store(int32(f.Codec()))
+							_ = WriteFrame(rc, TypePollOK, PollOK{})
+						}
+					}
+				}()
+			}
+		}()
+		return s, func() { ln.Close(); <-done }
+	}
+
+	p := &Pool{Codec: "binary", Retry: Retry{Attempts: 5, Base: 10 * time.Millisecond, Max: 100 * time.Millisecond}}
+	defer p.Close()
+
+	s1, stop1 := serve(MaxCodecVersion)
+	var reply PollOK
+	if err := p.Call(addr, 2*time.Second, TypePollReq, nil, TypePollOK, &reply); err != nil {
+		t.Fatalf("binary generation: %v", err)
+	}
+	if got := uint8(s1.lastCodec.Load()); got != CodecBinary {
+		t.Fatalf("first generation saw codec %d, want binary", got)
+	}
+	stop1()
+
+	s2, stop2 := serve(CodecJSON)
+	defer stop2()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := p.Call(addr, 2*time.Second, TypePollReq, nil, TypePollOK, &reply); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never recovered after restart")
+		}
+	}
+	if got := uint8(s2.lastCodec.Load()); got != CodecJSON {
+		t.Fatalf("downgraded generation saw codec %d, want JSON", got)
+	}
+}

@@ -78,6 +78,11 @@ type Pool struct {
 	// DialFunc overrides the dialer (tests wrap connections with the
 	// chaos injector here); nil uses Dial.
 	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+	// Codec selects the wire codec ceiling for pooled connections (see
+	// ParseWireCodec): "" or "auto" negotiates the binary codec on each
+	// fresh dial, "json" skips negotiation and keeps every frame JSON.
+	// Unrecognized values behave like "auto".
+	Codec string
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -122,6 +127,35 @@ func (p *Pool) dial(addr string) (net.Conn, error) {
 	return Dial(addr, p.DialTimeout)
 }
 
+// maxCodec resolves the Codec field; unknown values fall back to auto
+// (binaries validate the flag at startup, so this only covers tests
+// poking the field directly).
+func (p *Pool) maxCodec() uint8 {
+	v, err := ParseWireCodec(p.Codec)
+	if err != nil {
+		return MaxCodecVersion
+	}
+	return v
+}
+
+// negotiate runs the codec hello on a fresh connection when the pool's
+// ceiling allows more than JSON, bounded by the checkout's call
+// timeout. The connection is not yet visible to other callers, so the
+// synchronous exchange cannot interleave with pipelined frames.
+func (p *Pool) negotiate(conn net.Conn, timeout time.Duration) (uint8, error) {
+	if p.maxCodec() == CodecJSON {
+		return CodecJSON, nil
+	}
+	ver, err := Negotiate(conn, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if co, ok := p.PoolObs.(CodecObserver); ok {
+		co.CodecNegotiated(int(ver))
+	}
+	return ver, nil
+}
+
 // Call performs one deadline-bounded request/response exchange over a
 // pooled connection, observing the outcome like DialCallObs. Transport
 // failures evict the broken connection and redial under the Retry
@@ -147,14 +181,16 @@ func (p *Pool) call(addr string, timeout time.Duration, reqType string, req any,
 			if obs := p.PoolObs; obs != nil {
 				obs.PoolRedial()
 			}
+			backoff := time.NewTimer(r.Delay(i - 1))
 			select {
 			case <-r.Stop:
+				backoff.Stop()
 				return err
-			case <-time.After(r.Delay(i - 1)):
+			case <-backoff.C:
 			}
 		}
 		var pc *poolConn
-		pc, err = p.checkout(addr)
+		pc, err = p.checkout(addr, timeout)
 		if err != nil {
 			if errors.Is(err, ErrPoolClosed) {
 				return err
@@ -181,7 +217,7 @@ func (p *Pool) call(addr string, timeout time.Duration, reqType string, req any,
 // budget), or the least-loaded one to share. When the budget is spent
 // entirely on dials still in flight, the caller waits for one to land
 // rather than over-dialing.
-func (p *Pool) checkout(addr string) (*poolConn, error) {
+func (p *Pool) checkout(addr string, timeout time.Duration) (*poolConn, error) {
 	p.mu.Lock()
 	for {
 		select {
@@ -213,9 +249,15 @@ func (p *Pool) checkout(addr string) (*poolConn, error) {
 	}
 	p.mu.Unlock()
 
-	// Dial outside the lock so a slow handshake never blocks checkouts
-	// to other addresses.
+	// Dial (and negotiate the codec) outside the lock so a slow
+	// handshake never blocks checkouts to other addresses.
 	conn, err := p.dial(addr)
+	var codec uint8
+	if err == nil {
+		if codec, err = p.negotiate(conn, timeout); err != nil {
+			conn.Close()
+		}
+	}
 	p.mu.Lock()
 	p.dialing[addr]--
 	if err != nil {
@@ -231,7 +273,7 @@ func (p *Pool) checkout(addr string) (*poolConn, error) {
 		return nil, ErrPoolClosed
 	default:
 	}
-	pc := &poolConn{pool: p, addr: addr, conn: conn, pending: map[uint64]chan callResult{}}
+	pc := &poolConn{pool: p, addr: addr, conn: conn, codec: codec, pending: map[uint64]chan callResult{}}
 	pc.inflight.Add(1)
 	pc.lastUsed.Store(time.Now().UnixNano())
 	p.conns[addr] = append(p.conns[addr], pc)
@@ -318,9 +360,10 @@ type callResult struct {
 // are serialized under wmu, a single readLoop goroutine routes replies
 // to waiters by frame ID.
 type poolConn struct {
-	pool *Pool
-	addr string
-	conn net.Conn
+	pool  *Pool
+	addr  string
+	conn  net.Conn
+	codec uint8 // negotiated at dial, immutable afterwards
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -429,7 +472,7 @@ func (pc *poolConn) call(timeout time.Duration, reqType string, req any, wantRep
 
 	pc.wmu.Lock()
 	_ = pc.conn.SetWriteDeadline(time.Now().Add(Timeout(timeout)))
-	err := writeFrameID(pc.conn, id, reqType, req)
+	err := writeFrameCodec(pc.conn, pc.codec, id, reqType, req)
 	_ = pc.conn.SetWriteDeadline(time.Time{})
 	pc.wmu.Unlock()
 	if err != nil {

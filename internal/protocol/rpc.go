@@ -213,10 +213,14 @@ func (r Retry) Do(f func() error) error {
 		if i == attempts-1 {
 			break
 		}
+		// time.NewTimer rather than time.After: a stopped timer frees
+		// immediately instead of leaking until it fires.
+		backoff := time.NewTimer(r.Delay(i))
 		select {
 		case <-r.Stop:
+			backoff.Stop()
 			return err
-		case <-time.After(r.Delay(i)):
+		case <-backoff.C:
 		}
 	}
 	return err

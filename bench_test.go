@@ -26,6 +26,7 @@ import (
 	"faucets/internal/experiments"
 	"faucets/internal/gantt"
 	"faucets/internal/grid"
+	"faucets/internal/health"
 	"faucets/internal/machine"
 	"faucets/internal/market"
 	"faucets/internal/protocol"
@@ -598,6 +599,53 @@ func BenchmarkAuctionFanoutSerial(b *testing.B) {
 		if bids := market.SolicitSerial(0, ports, c, market.LeastCost{}); len(bids) != 13 {
 			b.Fatalf("bids=%d, want 13 (serial waits the slow bidder out)", len(bids))
 		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "auctions/s")
+}
+
+// memBidPort answers bids in-process with a fixed price — no network,
+// so BenchmarkSolicitWithBreakers measures only the fan-out machinery
+// and its breaker gate, with a deterministic allocation profile the CI
+// gate can hold to an absolute ceiling.
+type memBidPort struct {
+	name  string
+	price float64
+}
+
+func (p *memBidPort) ServerName() string { return p.name }
+func (p *memBidPort) RequestBid(_ float64, _ *qos.Contract) (bidding.Bid, bool) {
+	return bidding.Bid{Server: p.name, Price: p.price, EstCompletion: 1}, true
+}
+func (p *memBidPort) Commit(float64, string, bidding.Bid) error { return nil }
+
+// BenchmarkSolicitWithBreakers is the breaker-gate overhead number: a
+// 13-daemon fan-out where every circuit breaker is CLOSED, so the gate
+// is pure bookkeeping on the hot path and must stay within an absolute
+// allocation ceiling (CI -allocs gate). An OPEN breaker makes auctions
+// cheaper, not slower — the expensive failure mode is a gate that taxes
+// the all-healthy common case.
+func BenchmarkSolicitWithBreakers(b *testing.B) {
+	set := health.NewSet(health.Options{})
+	ports := make([]market.ServerPort, 13)
+	for i := range ports {
+		ports[i] = &memBidPort{name: fmt.Sprintf("bench-%02d", i), price: 0.001 * float64(i+1)}
+	}
+	for _, p := range ports { // every breaker has history and is CLOSED
+		set.Record(p.ServerName(), time.Millisecond, nil)
+	}
+	opts := market.SolicitOpts{
+		Concurrency: 16,
+		Gate:        func(s market.ServerPort) bool { return set.Healthy(s.ServerName()) },
+	}
+	c := &qos.Contract{App: "synth", MinPE: 2, MaxPE: 16, Work: 100}
+	if bids := market.SolicitWith(0, ports, c, market.LeastCost{}, opts); len(bids) != 13 {
+		b.Fatalf("bids=%d, want 13 with every breaker closed", len(bids))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		market.SolicitWith(0, ports, c, market.LeastCost{}, opts)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "auctions/s")

@@ -45,6 +45,11 @@ func main() {
 	pollWidth := flag.Int("poll-concurrency", 32, "how many daemons are probed in parallel")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics (empty = off)")
 	wireCodec := flag.String("wire-codec", "auto", "wire codec ceiling for served and federation connections: auto, binary, or json")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: auctions + settlements processed concurrently before new auctions are shed with a retryable OVERLOADED error (0 = unlimited)")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "circuit-breaker suspicion score that opens a daemon's breaker and skips its liveness probes (0 = breakers off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-open probing (0 = library default)")
+	brownoutFsync := flag.Duration("brownout-fsync", 0, "WAL fsync latency EWMA above which the server enters brownout mode (0 = off)")
+	brownoutQueue := flag.Int("brownout-queue", 0, "WAL group-commit queue depth above which the server enters brownout mode (0 = off)")
 	flag.Parse()
 
 	if _, err := protocol.ParseWireCodec(*wireCodec); err != nil {
@@ -94,6 +99,11 @@ func main() {
 	srv.PollTimeout = *pollTimeout
 	srv.PollConcurrency = *pollWidth
 	srv.WireCodec = *wireCodec
+	srv.MaxInflight = *maxInflight
+	srv.BreakerThreshold = *breakerThreshold
+	srv.BreakerCooldown = *breakerCooldown
+	srv.BrownoutFsync = *brownoutFsync
+	srv.BrownoutQueue = *brownoutQueue
 	if *peers != "" {
 		var list []string
 		for _, p := range strings.Split(*peers, ",") {
@@ -123,6 +133,9 @@ func main() {
 	}
 	if *poll > 0 {
 		srv.StartPolling(*poll)
+	}
+	if *brownoutFsync > 0 || *brownoutQueue > 0 {
+		srv.StartBrownoutMonitor(0)
 	}
 	if *stateDir != "" {
 		srv.StartSnapshots(*snapEvery)

@@ -53,6 +53,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at this address under /metrics, job traces under /trace (empty = off)")
 	wireCodec := flag.String("wire-codec", "auto", "wire codec ceiling for served and outbound connections: auto, binary, or json")
 	verifyCache := flag.Duration("verify-cache", daemon.DefaultVerifyCacheTTL, "how long a verified user token is trusted without re-asking the Central Server (negative disables the cache)")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "circuit-breaker suspicion score that opens the breaker on an unresponsive peer address (0 = breakers off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-open probing (0 = library default)")
 	flag.Parse()
 
 	spec := machine.Spec{
@@ -108,19 +110,21 @@ func main() {
 	}
 	tracer := telemetry.NewTracer(0)
 	d, err := daemon.New(daemon.Config{
-		Info:           protocol.ServerInfo{Spec: spec, Apps: appList, Home: *home},
-		Scheduler:      cm,
-		Bidder:         gen,
-		CentralAddr:    *centralAddr,
-		AppSpectorAddr: *asAddr,
-		TimeScale:      *timeScale,
-		RPCTimeout:     *rpcTimeout,
-		PoolSize:       *poolSize,
-		SettleRetry:    *settleRetry,
-		StateDir:       *stateDir,
-		Tracer:         tracer,
-		WireCodec:      *wireCodec,
-		VerifyCacheTTL: *verifyCache,
+		Info:             protocol.ServerInfo{Spec: spec, Apps: appList, Home: *home},
+		Scheduler:        cm,
+		Bidder:           gen,
+		CentralAddr:      *centralAddr,
+		AppSpectorAddr:   *asAddr,
+		TimeScale:        *timeScale,
+		RPCTimeout:       *rpcTimeout,
+		PoolSize:         *poolSize,
+		SettleRetry:      *settleRetry,
+		StateDir:         *stateDir,
+		Tracer:           tracer,
+		WireCodec:        *wireCodec,
+		VerifyCacheTTL:   *verifyCache,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		log.Fatalf("daemon: %v", err)

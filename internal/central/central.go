@@ -23,6 +23,7 @@ import (
 	"faucets/internal/accounting"
 	"faucets/internal/auth"
 	"faucets/internal/db"
+	"faucets/internal/health"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
 	"faucets/internal/telemetry"
@@ -50,6 +51,11 @@ type srvMetrics struct {
 	snapshotLat   *telemetry.Histogram // WAL compaction latency
 	daemonsAlive  *telemetry.Gauge
 	daemonsTotal  *telemetry.Gauge
+	shedInflight  *telemetry.Counter // admission rejections: in-flight budget exhausted
+	shedDeadline  *telemetry.Counter // admission rejections: hard deadline already unmeetable
+	brownoutOn    *telemetry.Gauge   // 1 while browned out
+	brownoutTrans *telemetry.Counter // brownout entries + exits
+	probeSkips    *telemetry.Counter // liveness probes skipped on an OPEN breaker
 }
 
 func newSrvMetrics(reg *telemetry.Registry) *srvMetrics {
@@ -64,6 +70,11 @@ func newSrvMetrics(reg *telemetry.Registry) *srvMetrics {
 		snapshotLat:   reg.Histogram("faucets_central_snapshot_seconds", "Latency of one WAL compaction into an atomic snapshot.", nil),
 		daemonsAlive:  reg.Gauge("faucets_central_daemons_alive", "Directory entries currently considered alive."),
 		daemonsTotal:  reg.Gauge("faucets_central_daemons_registered", "Directory entries, alive or not."),
+		shedInflight:  reg.Counter("faucets_central_shed_total", "Requests shed by admission control.", telemetry.L("reason", "inflight")),
+		shedDeadline:  reg.Counter("faucets_central_shed_total", "Requests shed by admission control.", telemetry.L("reason", "deadline")),
+		brownoutOn:    reg.Gauge("faucets_central_brownout", "1 while the server is serving in brownout (degraded-freshness) mode."),
+		brownoutTrans: reg.Counter("faucets_central_brownout_transitions_total", "Brownout mode entries and exits."),
+		probeSkips:    reg.Counter("faucets_central_probe_breaker_skips_total", "Liveness probes skipped because the daemon's circuit breaker was open."),
 	}
 }
 
@@ -137,8 +148,54 @@ type Server struct {
 	// negotiate the binary codec, "json" pins JSON (empty = auto).
 	WireCodec string
 
+	// MaxInflight caps concurrently admitted auction and settlement
+	// requests. Past the cap, admission control sheds the request with a
+	// retryable OVERLOADED error instead of queueing it without bound;
+	// settlements ride a priority lane a quarter wider than the base
+	// budget so money is booked even while auctions are shed. Zero
+	// disables admission control (the default).
+	MaxInflight int
+	inflight    atomic.Int64
+
+	// BreakerThreshold enables per-daemon circuit breakers on the
+	// liveness poller: probe failures accrue suspicion, and once it
+	// crosses the threshold the daemon's probes are skipped (instant
+	// forfeit, no dial) until BreakerCooldown passes and a half-open
+	// probe succeeds. Zero disables the breakers (the default).
+	BreakerThreshold float64
+	BreakerCooldown  time.Duration
+	probeOnce        sync.Once
+	probes           *health.Set
+
+	// BrownoutFsync and BrownoutQueue are the db-pressure thresholds the
+	// brownout monitor compares against (see StartBrownoutMonitor);
+	// brownout state itself lives below.
+	BrownoutFsync time.Duration
+	BrownoutQueue int
+	brownout      atomic.Bool
+	brownoutMu    sync.Mutex    // serializes enter/exit transitions
+	savedWindow   time.Duration // group-commit window to restore on exit
+
 	peerOnce sync.Once
 	peerPool *protocol.Pool
+
+	pollPoolOnce sync.Once
+	pollPool     *protocol.Pool
+}
+
+// probeBreakers lazily builds the per-daemon breaker set for the
+// liveness poller. Returns nil when breakers are disabled — a nil
+// health.Set allows every probe and records nothing.
+func (s *Server) probeBreakers() *health.Set {
+	s.probeOnce.Do(func() {
+		if s.BreakerThreshold > 0 {
+			s.probes = health.NewSet(health.Options{
+				Threshold: s.BreakerThreshold,
+				Cooldown:  s.BreakerCooldown,
+			})
+		}
+	})
+	return s.probes
 }
 
 // peerRPC lazily builds the pool carrying federation calls to peer
@@ -158,6 +215,28 @@ func (s *Server) peerRPC() *protocol.Pool {
 		}
 	})
 	return s.peerPool
+}
+
+// pollRPC lazily builds the pool carrying liveness probes to daemons.
+// Probes used to pay a fresh dial (and its timer) per daemon per tick;
+// a persistent connection makes the steady-state probe one pipelined
+// round trip. One connection per daemon is plenty for a probe cadence,
+// and the codec is pinned to JSON: a probe is a dozen bytes, so the
+// negotiation hello would cost more than it saves — and a JSON probe
+// stays byte-identical for daemons running any older build.
+func (s *Server) pollRPC() *protocol.Pool {
+	s.pollPoolOnce.Do(func() {
+		s.pollPool = &protocol.Pool{
+			Size:  1,
+			Codec: "json",
+			Obs:   s.rpc,
+			Retry: protocol.Retry{Attempts: 2, Base: 25 * time.Millisecond, Max: 200 * time.Millisecond, Stop: s.closed},
+			DialFunc: func(addr string, _ time.Duration) (net.Conn, error) {
+				return s.Dial(addr)
+			},
+		}
+	})
+	return s.pollPool
 }
 
 // New returns a Central Server in the given economic mode.
@@ -426,6 +505,16 @@ func (s *Server) Weather() weather.Report {
 		s.weatherMu.Unlock()
 		return r
 	}
+	if s.Brownout() && !s.weatherAt.IsZero() && now.Sub(s.weatherAt) <= ttl*brownoutWeatherFactor {
+		// Brownout: serve the last computed report even though an
+		// invalidation or the TTL expired it. Weather is advisory pricing
+		// input (§5.2.1) — staleness degrades bid quality, not
+		// correctness — and skipping the fleet scan sheds read load while
+		// the durability layer is drowning.
+		r := s.weatherRep
+		s.weatherMu.Unlock()
+		return r
+	}
 	s.weatherMu.Unlock()
 
 	s.mu.RLock()
@@ -483,6 +572,7 @@ func (s *Server) PollOnce() int {
 		width = 32
 	}
 	sem := make(chan struct{}, width)
+	brk := s.probeBreakers()
 	var wg sync.WaitGroup
 	var alive atomic.Int64
 	for name, addr := range targets {
@@ -491,16 +581,20 @@ func (s *Server) PollOnce() int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			probe := time.Now()
-			conn, err := s.Dial(addr)
-			if err != nil {
-				s.rpc.ObserveRPC(protocol.TypePollReq, time.Since(probe), err)
-				s.MarkDead(name)
+			if !brk.Allow(addr) {
+				// OPEN breaker: skip the dial entirely. The entry is NOT
+				// marked dead here — the failures that opened the breaker
+				// already did that, and a daemon restarting mid-cooldown
+				// re-registers itself alive; the half-open probe after the
+				// cooldown confirms or re-opens.
+				s.met.probeSkips.Inc()
 				return
 			}
-			defer conn.Close()
+			probe := time.Now()
 			var dyn protocol.PollOK
-			if err := protocol.CallTimeoutObs(s.rpc, conn, timeout, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn); err != nil {
+			err := s.pollRPC().Call(addr, timeout, protocol.TypePollReq, protocol.PollReq{}, protocol.TypePollOK, &dyn)
+			brk.Record(addr, time.Since(probe), err)
+			if err != nil {
 				s.MarkDead(name)
 				return
 			}
@@ -645,6 +739,7 @@ func (s *Server) Close() {
 		l.Close()
 	}
 	s.peerRPC().Close()
+	s.pollRPC().Close()
 	s.wg.Wait()
 }
 
@@ -706,6 +801,11 @@ func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 			if err := req.Contract.Validate(); err != nil {
 				return err
 			}
+			release, err := s.admitAuction(req.Contract)
+			if err != nil {
+				return err
+			}
+			defer release()
 			// A contract-filtered directory read is the first step of a bid
 			// solicitation (§5.1) — the closest thing the Central Server
 			// sees to the bids themselves, which flow client↔daemon.
@@ -791,6 +891,15 @@ func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 		if err := protocol.Decode(f, f.Type, &req); err != nil {
 			return err
 		}
+		// Settlements ride the priority admission lane: shedding one
+		// delays booking money the daemon already earned, so they are
+		// only refused when even the widened budget is exhausted (the
+		// daemon's durable outbox redelivers on OVERLOADED).
+		release, err := s.admitSettle()
+		if err != nil {
+			return err
+		}
+		defer release()
 		if err := s.Settle(req); err != nil {
 			return err
 		}

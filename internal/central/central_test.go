@@ -248,15 +248,19 @@ func pollable(t *testing.T, fail bool) string {
 			}
 			go func() {
 				defer conn.Close()
-				f, err := protocol.ReadFrame(conn)
-				if err != nil || f.Type != protocol.TypePollReq {
-					return
+				rc := protocol.NewReplyConn(conn)
+				for {
+					f, err := protocol.ReadFrame(conn)
+					if err != nil || f.Type != protocol.TypePollReq {
+						return
+					}
+					rc.SetID(f.ID)
+					if fail {
+						_ = protocol.WriteError(rc, "broken daemon")
+						continue
+					}
+					_ = protocol.WriteFrame(rc, protocol.TypePollOK, protocol.PollOK{UsedPE: 7, Running: 2})
 				}
-				if fail {
-					_ = protocol.WriteError(conn, "broken daemon")
-					return
-				}
-				_ = protocol.WriteFrame(conn, protocol.TypePollOK, protocol.PollOK{UsedPE: 7, Running: 2})
 			}()
 		}
 	}()

@@ -39,6 +39,13 @@ func (s *Server) Peers() []string {
 // (local entries win) and sorted by name.
 func (s *Server) FederatedServers(c *qos.Contract) []protocol.ServerInfo {
 	local := s.Servers(c)
+	if s.Brownout() {
+		// Brownout pauses federation gossip: peer directory fan-outs are
+		// the most expensive part of a solicitation and their absence only
+		// narrows the candidate set (freshness, not correctness). Peer
+		// credential verification is NOT paused — auth must stay exact.
+		return local
+	}
 	peers := s.Peers()
 	if len(peers) == 0 {
 		return local

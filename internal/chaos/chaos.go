@@ -25,6 +25,10 @@ import (
 // tell deliberate chaos from genuine bugs.
 var ErrInjected = errors.New("chaos: injected fault")
 
+// ErrDiskFull is the error tests pass to db.FailWALAppends to simulate
+// a WAL append hitting a full disk.
+var ErrDiskFull = errors.New("chaos: injected disk full")
+
 // Config sets the fault schedule. Zero probabilities inject nothing.
 type Config struct {
 	// Seed makes the schedule reproducible; the same seed and the same
@@ -41,6 +45,20 @@ type Config struct {
 	// PartialProb is the per-write probability that only a prefix of the
 	// buffer is written before the connection is severed — a torn frame.
 	PartialProb float64
+	// TrickleProb is the per-connection probability (decided once at
+	// wrap time) that the connection is a byte-trickle slow-loris: every
+	// write is delivered one byte at a time with TrickleDelay between
+	// bytes. The peer's frames dribble in so slowly its deadlines fire —
+	// the connection "works", it just never works in time.
+	TrickleProb float64
+	// TrickleDelay is the per-byte delay on trickled connections
+	// (default 2ms).
+	TrickleDelay time.Duration
+	// StallProb is the per-connection probability (decided once at wrap
+	// time) that the connection is stalled: writes vanish successfully
+	// and reads block until the connection is closed. This is the gray
+	// failure a liveness check cannot see — connected, silent.
+	StallProb float64
 }
 
 // Stats counts the faults an Injector has delivered.
@@ -48,6 +66,8 @@ type Stats struct {
 	Drops    int64
 	Delays   int64
 	Partials int64
+	Trickles int64
+	Stalls   int64
 }
 
 // Injector wraps listeners and connections with a deterministic fault
@@ -64,12 +84,17 @@ type Injector struct {
 	drops       atomic.Int64
 	delays      atomic.Int64
 	partials    atomic.Int64
+	trickles    atomic.Int64
+	stalls      atomic.Int64
 }
 
 // New returns an Injector drawing from cfg.Seed.
 func New(cfg Config) *Injector {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	if cfg.TrickleDelay <= 0 {
+		cfg.TrickleDelay = 2 * time.Millisecond
 	}
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
@@ -85,6 +110,8 @@ func (in *Injector) Stats() Stats {
 		Drops:    in.drops.Load(),
 		Delays:   in.delays.Load(),
 		Partials: in.partials.Load(),
+		Trickles: in.trickles.Load(),
+		Stalls:   in.stalls.Load(),
 	}
 }
 
@@ -107,9 +134,21 @@ func (in *Injector) WrapListener(l net.Listener) net.Listener {
 	return &faultListener{Listener: l, in: in}
 }
 
-// WrapConn makes a single connection fault-injected (client side).
+// WrapConn makes a single connection fault-injected (client side). The
+// per-connection fault classes — trickle, stall — are decided here,
+// once, from the shared seeded source; the per-operation classes are
+// rolled on every Read/Write as before.
 func (in *Injector) WrapConn(c net.Conn) net.Conn {
-	return &faultConn{Conn: c, in: in}
+	fc := &faultConn{Conn: c, in: in}
+	if in.cfg.StallProb > 0 && in.roll() < in.cfg.StallProb {
+		in.stalls.Add(1)
+		fc.stalled = true
+		fc.stallCh = make(chan struct{})
+	} else if in.cfg.TrickleProb > 0 && in.roll() < in.cfg.TrickleProb {
+		in.trickles.Add(1)
+		fc.trickle = true
+	}
+	return fc
 }
 
 type faultListener struct {
@@ -129,6 +168,14 @@ func (l *faultListener) Accept() (net.Conn, error) {
 type faultConn struct {
 	net.Conn
 	in *Injector
+
+	// trickle delivers every write one byte at a time with a per-byte
+	// delay (slow-loris).
+	trickle bool
+	// stalled swallows writes and blocks reads until Close.
+	stalled   bool
+	stallCh   chan struct{}
+	stallOnce sync.Once
 }
 
 // inject runs the pre-operation schedule: partition and drop sever the
@@ -154,6 +201,13 @@ func (c *faultConn) inject() error {
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
+	if c.stalled {
+		// Connected but silent: the read parks until someone closes the
+		// connection. The peer's deadline — not this conn — breaks the
+		// wait.
+		<-c.stallCh
+		return 0, ErrInjected
+	}
 	if err := c.inject(); err != nil {
 		return 0, err
 	}
@@ -161,8 +215,24 @@ func (c *faultConn) Read(p []byte) (int, error) {
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
+	if c.stalled {
+		// The kernel would buffer this write; nothing ever answers.
+		return len(p), nil
+	}
 	if err := c.inject(); err != nil {
 		return 0, err
+	}
+	if c.trickle {
+		// Slow-loris: the frame dribbles out one byte at a time. The
+		// receiver stays connected and keeps making "progress", but any
+		// deadline-bounded exchange starves.
+		for i := range p {
+			time.Sleep(c.in.cfg.TrickleDelay)
+			if _, err := c.Conn.Write(p[i : i+1]); err != nil {
+				return i, err
+			}
+		}
+		return len(p), nil
 	}
 	if c.in.cfg.PartialProb > 0 && len(p) > 1 && c.in.roll() < c.in.cfg.PartialProb {
 		// Torn frame: deliver a strict prefix, then sever. The receiver
@@ -180,4 +250,13 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		return wrote, ErrInjected
 	}
 	return c.Conn.Write(p)
+}
+
+// Close releases any reader parked on a stalled connection before
+// closing the underlying conn.
+func (c *faultConn) Close() error {
+	if c.stalled {
+		c.stallOnce.Do(func() { close(c.stallCh) })
+	}
+	return c.Conn.Close()
 }

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTrickleDeliversByteAtATime: a trickled connection still delivers
+// every byte, but so slowly that a deadline-bounded peer starves. The
+// payload must arrive intact — trickle is slow, not lossy.
+func TestTrickleDeliversByteAtATime(t *testing.T) {
+	in := New(Config{Seed: 1, TrickleProb: 1, TrickleDelay: time.Millisecond})
+	client, server := pipePair(t, in)
+	msg := []byte("slow loris")
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if elapsed := time.Since(start); elapsed < time.Duration(len(msg))*time.Millisecond {
+		t.Fatalf("trickled %d bytes in %v — too fast for a per-byte delay", len(msg), elapsed)
+	}
+	if s := in.Stats(); s.Trickles == 0 {
+		t.Fatalf("stats = %+v, want Trickles > 0", s)
+	}
+}
+
+// TestStalledConnIsConnectedButSilent: writes vanish successfully,
+// reads block until Close — the gray failure a dial-based liveness
+// probe cannot see.
+func TestStalledConnIsConnectedButSilent(t *testing.T) {
+	in := New(Config{Seed: 1, StallProb: 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wrapped := in.WrapListener(l)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := wrapped.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	srv := <-accepted
+
+	// The stalled side happily "accepts" a request...
+	if n, err := srv.Write([]byte("reply")); err != nil || n != 5 {
+		t.Fatalf("stalled write = (%d, %v), want swallowed success", n, err)
+	}
+	// ...but its reads never complete until the conn is closed.
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := srv.Read(buf)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	srv.Close()
+	select {
+	case err := <-readDone:
+		if err != ErrInjected {
+			t.Fatalf("stalled read after close = %v, want ErrInjected", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read still blocked after Close")
+	}
+	if s := in.Stats(); s.Stalls == 0 {
+		t.Fatalf("stats = %+v, want Stalls > 0", s)
+	}
+}
+
+// TestPerConnFaultsAreSeeded: same seed, same accept order — same
+// trickle/stall classification.
+func TestPerConnFaultsAreSeeded(t *testing.T) {
+	classify := func(seed int64) []bool {
+		in := New(Config{Seed: seed, StallProb: 0.3, TrickleProb: 0.3})
+		out := make([]bool, 0, 16)
+		for i := 0; i < 16; i++ {
+			c1, c2 := net.Pipe()
+			fc := in.WrapConn(c1).(*faultConn)
+			out = append(out, fc.stalled, fc.trickle)
+			c1.Close()
+			c2.Close()
+		}
+		return out
+	}
+	a, b := classify(42), classify(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("classification diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

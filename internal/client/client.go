@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"faucets/internal/bidding"
+	"faucets/internal/health"
 	"faucets/internal/market"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
@@ -65,9 +66,21 @@ type Client struct {
 	// fallback for peers that do not speak it), "json" pins the JSON
 	// wire format (empty = auto).
 	WireCodec string
+	// Breakers, when set, installs per-daemon circuit breakers on the
+	// pool and gates auction fan-outs: a daemon whose breaker is OPEN
+	// forfeits its bid instantly (no dial, no timeout) until its cooldown
+	// lapses and a half-open probe succeeds (nil = no breakers).
+	Breakers *health.Set
+	// HedgeQuantile, in (0,1), turns on hedged bid solicitation: once
+	// that fraction of the fan-out has resolved, the slowest outstanding
+	// requests are re-issued and the first response per daemon wins.
+	// Zero disables hedging.
+	HedgeQuantile float64
 
 	fanoutOnce sync.Once
 	fanoutHist *telemetry.Histogram
+	skipOnce   sync.Once
+	skipCount  *telemetry.Counter
 
 	poolOnce sync.Once
 	pool     *protocol.Pool
@@ -84,6 +97,9 @@ func (c *Client) rpcPool() *protocol.Pool {
 			DialTimeout: c.DialTimeout,
 			PoolObs:     c.PoolObs,
 			Retry:       protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond},
+		}
+		if c.Breakers != nil {
+			c.pool.Health = c.Breakers
 		}
 	})
 	return c.pool
@@ -105,6 +121,48 @@ func (c *Client) fanout() *telemetry.Histogram {
 		}
 	})
 	return c.fanoutHist
+}
+
+// breakerSkips lazily resolves the gate-skip counter (nil when no
+// Metrics registry is attached).
+func (c *Client) breakerSkips() *telemetry.Counter {
+	c.skipOnce.Do(func() {
+		if c.Metrics != nil {
+			c.skipCount = c.Metrics.Counter("faucets_auction_breaker_skips_total",
+				"Daemons skipped during bid solicitation because their circuit breaker was open.")
+		}
+	})
+	return c.skipCount
+}
+
+// solicitOpts assembles the fan-out options Place and PlaceBatch share:
+// concurrency, per-bid deadline, hedging, and the breaker gate. The gate
+// reads Healthy — a non-claiming check — rather than Allow, so gating a
+// fan-out never consumes the half-open probe slot the pool's own Allow
+// claims when a call is actually issued.
+func (c *Client) solicitOpts() market.SolicitOpts {
+	opts := market.SolicitOpts{
+		Concurrency:   c.BidConcurrency,
+		Timeout:       c.BidTimeout,
+		HedgeQuantile: c.HedgeQuantile,
+	}
+	if c.Breakers != nil {
+		skips := c.breakerSkips()
+		opts.Gate = func(s market.ServerPort) bool {
+			p, ok := s.(*fdPort)
+			if !ok {
+				return true
+			}
+			if c.Breakers.Healthy(p.info.Addr) {
+				return true
+			}
+			if skips != nil {
+				skips.Inc()
+			}
+			return false
+		}
+	}
+	return opts
 }
 
 // Login authenticates with the Central Server and returns a session.
@@ -289,10 +347,7 @@ func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placemen
 	// winning bid is traced before the commit round records the contract
 	// span on the daemon — keeping the chain in causal order.
 	solStart := time.Now()
-	bids := market.SolicitWith(0, ports, contract, crit, market.SolicitOpts{
-		Concurrency: c.BidConcurrency,
-		Timeout:     c.BidTimeout,
-	})
+	bids := market.SolicitWith(0, ports, contract, crit, c.solicitOpts())
 	if h := c.fanout(); h != nil {
 		h.Observe(time.Since(solStart).Seconds())
 	}
@@ -367,10 +422,7 @@ func (c *Client) PlaceBatch(contracts []*qos.Contract, crit market.Criterion) ([
 		byName[info.Spec.Name] = info
 	}
 	solStart := time.Now()
-	ranked := market.SolicitBatch(0, ports, valid, crit, market.SolicitOpts{
-		Concurrency: c.BidConcurrency,
-		Timeout:     c.BidTimeout,
-	})
+	ranked := market.SolicitBatch(0, ports, valid, crit, c.solicitOpts())
 	if h := c.fanout(); h != nil {
 		h.Observe(time.Since(solStart).Seconds())
 	}

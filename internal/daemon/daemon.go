@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"faucets/internal/bidding"
+	"faucets/internal/health"
 	"faucets/internal/job"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
@@ -92,6 +93,16 @@ type Config struct {
 	// Only positive verifications are cached — a bogus token is
 	// re-checked (and re-refused) every time.
 	VerifyCacheTTL time.Duration
+	// BreakerThreshold enables per-address circuit breakers on the
+	// daemon's outbound RPC pool (Central Server, AppSpector): transport
+	// failures and pathological latency accrue suspicion, and an OPEN
+	// breaker fails calls instantly instead of burning a timeout each.
+	// Zero disables the breakers (the default — the outbox's own retry
+	// cadence already paces redelivery).
+	BreakerThreshold float64
+	// BreakerCooldown is how long an OPEN breaker waits before the
+	// half-open probe (zero = health.DefaultCooldown).
+	BreakerCooldown time.Duration
 }
 
 // DefaultVerifyCacheTTL bounds how stale a cached credential check may
@@ -233,6 +244,15 @@ func New(cfg Config) (*Daemon, error) {
 		// a genuinely-down peer fails fast so the outbox keeps the
 		// records for the next cycle instead of wedging.
 		Retry: protocol.Retry{Attempts: 2, Base: 50 * time.Millisecond, Max: 500 * time.Millisecond, Stop: d.closed},
+	}
+	if cfg.BreakerThreshold > 0 {
+		d.pool.Health = health.NewSet(health.Options{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			OnTransition: func(addr string, from, to health.State) {
+				log.Printf("daemon %s: breaker %s: %v -> %v", cfg.Info.Spec.Name, addr, from, to)
+			},
+		})
 	}
 	if cfg.StateDir != "" {
 		if err := d.recover(filepath.Join(cfg.StateDir, "journal.jsonl")); err != nil {
@@ -630,8 +650,13 @@ func (d *Daemon) flushSettlements() {
 				continue
 			}
 			// Delivered but refused: retrying unchanged cannot succeed,
-			// so drop it rather than poison the queue forever.
-			log.Printf("daemon %s: settlement %s refused: %v", d.Name(), req.JobID, err)
+			// so drop it rather than poison the queue forever. The job ID
+			// and amount go to the log — this is billing data an operator
+			// may need to reconcile by hand — and the poison counter, so a
+			// quietly mis-refusing Central Server shows up on a dashboard.
+			log.Printf("daemon %s: settlement dropped from outbox: job=%s server=%s price=%.4f refused by central: %v",
+				d.Name(), req.JobID, req.Server, req.Price, err)
+			d.met.outboxPoison.Inc()
 			done[req.JobID] = true
 			continue
 		}

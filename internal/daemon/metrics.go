@@ -16,6 +16,7 @@ type fdMetrics struct {
 	jobsFinished    *telemetry.Counter   // jobs run to completion
 	jobsKilled      *telemetry.Counter   // jobs killed by their owner
 	settleAcked     *telemetry.Counter   // settlements the Central Server acknowledged
+	outboxPoison    *telemetry.Counter   // settlements permanently refused and dropped
 	verifyCacheHits *telemetry.Counter   // credential checks answered from the verify cache
 	queueDepth      *telemetry.Gauge     // scheduler queue length
 	runningJobs     *telemetry.Gauge     // jobs currently executing
@@ -34,6 +35,7 @@ func newFDMetrics(reg *telemetry.Registry) *fdMetrics {
 		jobsFinished:    reg.Counter("faucets_daemon_jobs_finished_total", "Jobs run to completion and queued for settlement."),
 		jobsKilled:      reg.Counter("faucets_daemon_jobs_killed_total", "Jobs killed on their owner's request."),
 		settleAcked:     reg.Counter("faucets_daemon_settlements_acked_total", "Settlements acknowledged (or permanently refused) by the Central Server."),
+		outboxPoison:    reg.Counter("faucets_daemon_outbox_poison_total", "Settlements the Central Server permanently refused, dropped from the outbox with their job ID logged."),
 		verifyCacheHits: reg.Counter("faucets_daemon_verify_cache_hits_total", "Credential verifications answered from the local cache instead of a Central Server round trip."),
 		queueDepth:      reg.Gauge("faucets_daemon_queue_depth", "Jobs waiting in the scheduler queue."),
 		runningJobs:     reg.Gauge("faucets_daemon_running_jobs", "Jobs currently executing."),

@@ -1,0 +1,82 @@
+package db
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var errDiskFull = errors.New("injected disk full")
+
+// TestFailWALAppendsSurfacesAndRecovers: an armed disk-full injection
+// must surface through CommitBatch exactly like a real append failure,
+// and the database must serve writes normally once the fault clears.
+func TestFailWALAppendsSurfacesAndRecovers(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	d.FailWALAppends(1, errDiskFull)
+	d.BeginBatch()
+	d.AddRevenue("turing", 5)
+	if err := d.CommitBatch(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("CommitBatch under disk-full = %v, want injected error", err)
+	}
+
+	// Fault cleared: the same settlement shape must go durable.
+	d.BeginBatch()
+	d.AddRevenue("turing", 5)
+	if err := d.CommitBatch(); err != nil {
+		t.Fatalf("CommitBatch after fault cleared: %v", err)
+	}
+}
+
+// TestPressureReportsSyncLatency: durable commits feed the fsync EWMA;
+// an ephemeral database reports zero pressure.
+func TestPressureReportsSyncLatency(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 3; i++ {
+		d.BeginBatch()
+		d.AddRevenue("turing", 1)
+		if err := d.CommitBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := d.Pressure(); p.SyncEWMA <= 0 {
+		t.Fatalf("pressure after durable commits = %+v, want SyncEWMA > 0", p)
+	}
+
+	eph := New()
+	if p := eph.Pressure(); p != (Pressure{}) {
+		t.Fatalf("ephemeral pressure = %+v, want zero", p)
+	}
+	// And the window accessors are ephemeral-safe no-ops.
+	eph.SetGroupWindow(time.Millisecond)
+	if w := eph.GroupWindow(); w != 0 {
+		t.Fatalf("ephemeral group window = %v, want 0", w)
+	}
+	eph.FailWALAppends(1, errDiskFull)
+}
+
+// TestGroupWindowRoundTrip pins the getter the brownout controller
+// relies on to restore the configured window after pressure drops.
+func TestGroupWindowRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if w := d.GroupWindow(); w != 0 {
+		t.Fatalf("initial window = %v, want 0", w)
+	}
+	d.SetGroupWindow(2 * time.Millisecond)
+	if w := d.GroupWindow(); w != 2*time.Millisecond {
+		t.Fatalf("window = %v, want 2ms", w)
+	}
+}

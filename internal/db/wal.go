@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -96,6 +97,17 @@ type walWriter struct {
 	// Metric hooks (nil until DB.Instrument wires them).
 	onSync func(records int) // after each successful group fsync
 	onErr  func(records int) // records whose durability failed
+
+	// syncEWMA is the smoothed duration of recent group fsyncs in
+	// nanoseconds, the brownout monitor's pressure signal. Written by
+	// the single active flush leader, read lock-free by Pressure.
+	syncEWMA atomic.Int64
+
+	// Fault-injection seam for chaos tests: the next failN flush passes
+	// fail with failErr before touching the file — the shape a full
+	// disk produces. Guarded by cmu.
+	failN   int
+	failErr error
 }
 
 func openWALWriter(path string) (*walWriter, error) {
@@ -174,8 +186,20 @@ func (w *walWriter) flushLocked() {
 		blob, n, batch := w.pending, w.npend, w.batch
 		w.pending, w.npend, w.batch = nil, 0, nil
 		onSync, onErr := w.onSync, w.onErr
+		var inject error
+		if w.failN > 0 {
+			w.failN--
+			inject = w.failErr
+		}
 		w.cmu.Unlock()
-		err := w.writeAndSync(blob)
+		var err error
+		if inject != nil {
+			err = inject
+		} else {
+			start := time.Now()
+			err = w.writeAndSync(blob)
+			w.observeSync(time.Since(start))
+		}
 		if err != nil {
 			log.Printf("db: wal group commit (%d records): %v", n, err)
 			if onErr != nil {
@@ -233,6 +257,18 @@ func (w *walWriter) reset() error {
 		return fmt.Errorf("db: rewind wal: %w", err)
 	}
 	return nil
+}
+
+// observeSync folds one group commit's duration into the pressure
+// EWMA (weight 1/4 — responsive enough to catch a sick disk within a
+// few commits, smooth enough to shrug off one outlier).
+func (w *walWriter) observeSync(d time.Duration) {
+	old := w.syncEWMA.Load()
+	if old == 0 {
+		w.syncEWMA.Store(int64(d))
+		return
+	}
+	w.syncEWMA.Store(old - old/4 + int64(d)/4)
 }
 
 func (w *walWriter) sync() error  { return w.f.Sync() }
@@ -416,6 +452,63 @@ func (d *DB) SetGroupWindow(window time.Duration) {
 	d.wal.cmu.Lock()
 	d.wal.window = window
 	d.wal.cmu.Unlock()
+}
+
+// GroupWindow returns the current group-commit accumulation window
+// (zero on an ephemeral database). Brownout control uses it to widen
+// the window under pressure and restore it afterwards.
+func (d *DB) GroupWindow() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return 0
+	}
+	d.wal.cmu.Lock()
+	defer d.wal.cmu.Unlock()
+	return d.wal.window
+}
+
+// Pressure describes the WAL's current durability load: the smoothed
+// group-fsync latency and how many records are staged awaiting fsync.
+// The Central Server's brownout monitor polls it to decide when to
+// start degrading freshness.
+type Pressure struct {
+	SyncEWMA   time.Duration
+	QueueDepth int
+}
+
+// Pressure reports the WAL's current durability load. Zero on an
+// ephemeral database.
+func (d *DB) Pressure() Pressure {
+	d.mu.Lock()
+	w := d.wal
+	d.mu.Unlock()
+	if w == nil {
+		return Pressure{}
+	}
+	w.cmu.Lock()
+	depth := w.npend
+	w.cmu.Unlock()
+	return Pressure{SyncEWMA: time.Duration(w.syncEWMA.Load()), QueueDepth: depth}
+}
+
+// FailWALAppends arms fault injection on the WAL: the next n group
+// flushes fail with err before touching the file — the failure shape a
+// full disk produces. Records in a failed flush are dropped exactly as
+// a real append failure drops them, so CommitBatch surfaces the error
+// and settle acks are withheld. n <= 0 disarms. No-op on an ephemeral
+// database. Chaos-test seam; never called in production paths.
+func (d *DB) FailWALAppends(n int, err error) {
+	d.mu.Lock()
+	w := d.wal
+	d.mu.Unlock()
+	if w == nil {
+		return
+	}
+	w.cmu.Lock()
+	w.failN = n
+	w.failErr = err
+	w.cmu.Unlock()
 }
 
 // BeginBatch starts buffering WAL records so a multi-mutation operation

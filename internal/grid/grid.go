@@ -21,6 +21,7 @@ import (
 	"faucets/internal/client"
 	"faucets/internal/daemon"
 	"faucets/internal/db"
+	"faucets/internal/health"
 	"faucets/internal/machine"
 	"faucets/internal/protocol"
 	"faucets/internal/scheduler"
@@ -42,6 +43,11 @@ type ClusterSpec struct {
 	// set "json" to model a legacy JSON-only daemon inside an otherwise
 	// binary-codec grid (mixed-version interop tests).
 	WireCodec string
+	// Chaos, when set, additionally wraps THIS cluster's listener with
+	// its own fault injector — the way soak tests make a minority of
+	// daemons sick (slow-loris, stalled) while the rest of the grid and
+	// any grid-wide Options.Chaos schedule stay healthy.
+	Chaos *chaos.Injector
 }
 
 // Options configures the whole grid.
@@ -98,6 +104,26 @@ type Options struct {
 	// pins JSON; empty = auto. ClusterSpec.WireCodec overrides it per
 	// daemon.
 	WireCodec string
+	// MaxInflight is the Central Server's admission-control budget (the
+	// in-process -max-inflight; zero = admission off).
+	MaxInflight int
+	// BreakerThreshold/BreakerCooldown configure circuit breakers on the
+	// Central Server's liveness poller and every client's bid fan-out
+	// (the in-process -breaker-threshold/-breaker-cooldown; zero
+	// threshold = breakers off).
+	BreakerThreshold float64
+	BreakerCooldown  time.Duration
+	// HedgeQuantile turns on hedged bid solicitation for clients (the
+	// in-process -hedge-quantile; zero = off).
+	HedgeQuantile float64
+	// BrownoutFsync/BrownoutQueue are the Central Server's brownout
+	// thresholds; setting either starts the brownout monitor (the
+	// in-process -brownout-fsync/-brownout-queue).
+	BrownoutFsync time.Duration
+	BrownoutQueue int
+	// BrownoutInterval overrides the monitor cadence (zero =
+	// central.DefaultBrownoutInterval).
+	BrownoutInterval time.Duration
 }
 
 // Grid is a running loopback Faucets deployment.
@@ -282,6 +308,12 @@ func (g *Grid) newCentral() (*central.Server, error) {
 	}
 	fs.PoolSize = g.opts.PoolSize
 	fs.WireCodec = g.opts.WireCodec
+	fs.MaxInflight = g.opts.MaxInflight
+	fs.BreakerThreshold = g.opts.BreakerThreshold
+	fs.BreakerCooldown = g.opts.BreakerCooldown
+	fs.BrownoutFsync = g.opts.BrownoutFsync
+	fs.BrownoutQueue = g.opts.BrownoutQueue
+	fs.StartBrownoutMonitor(g.opts.BrownoutInterval)
 	return fs, nil
 }
 
@@ -325,6 +357,9 @@ func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
 	dl, err := g.listen(addr)
 	if err != nil {
 		return nil, "", err
+	}
+	if cl.Chaos != nil {
+		dl = cl.Chaos.WrapListener(dl)
 	}
 	if err := d.Start(dl); err != nil {
 		dl.Close()
@@ -397,7 +432,15 @@ func (g *Grid) Login(user, password string) (*client.Client, error) {
 	c.PoolSize = g.opts.PoolSize
 	c.BidConcurrency = g.opts.BidConcurrency
 	c.BidTimeout = g.opts.BidTimeout
+	c.RPCTimeout = g.opts.RPCTimeout
 	c.WireCodec = g.opts.WireCodec
+	c.HedgeQuantile = g.opts.HedgeQuantile
+	if g.opts.BreakerThreshold > 0 {
+		c.Breakers = health.NewSet(health.Options{
+			Threshold: g.opts.BreakerThreshold,
+			Cooldown:  g.opts.BreakerCooldown,
+		})
+	}
 	// Clients share the Central Server's registry, so the auction
 	// fan-out histogram lands next to the rest of the grid's metrics.
 	c.Metrics = g.Central.Metrics

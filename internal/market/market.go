@@ -12,6 +12,7 @@ package market
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,19 @@ type SolicitOpts struct {
 	// one hung daemon must not stall the whole broadcast. <= 0 disables
 	// the per-bid deadline (the transport's own deadline still applies).
 	Timeout time.Duration
+	// Gate, when set, is consulted once per server before its request
+	// is launched; false skips the server for this auction — an instant
+	// forfeit with no goroutine and no deadline spent. Wire clients
+	// point this at the per-address circuit breaker so an OPEN daemon
+	// costs the auction nothing instead of a per-bid timeout.
+	Gate func(s ServerPort) bool
+	// HedgeQuantile in (0,1) enables hedged solicitation: once that
+	// fraction of the gated-in servers has resolved, every request
+	// still outstanding — the auction's own slow tail — is re-issued
+	// once to the same server. First response wins per server, so a
+	// hedge can never double a server's bid and awards stay
+	// duplicate-safe. <= 0 (or >= 1) disables hedging.
+	HedgeQuantile float64
 }
 
 // DefaultFanout is the concurrency cap used when SolicitOpts.Concurrency
@@ -176,8 +190,11 @@ func SolicitWith(now float64, servers []ServerPort, c *qos.Contract, crit Criter
 	if conc > n {
 		conc = n
 	}
-	if conc == 1 && opts.Timeout <= 0 {
+	if conc == 1 && opts.Timeout <= 0 && opts.Gate == nil && !hedging(opts) {
 		return SolicitSerial(now, servers, c, crit)
+	}
+	if hedging(opts) {
+		return solicitHedged(now, servers, c, crit, opts, conc)
 	}
 	slots := make([]bidding.Bid, n)
 	got := make([]bool, n)
@@ -192,6 +209,9 @@ func SolicitWith(now float64, servers []ServerPort, c *qos.Contract, crit Criter
 				if i >= n {
 					return
 				}
+				if opts.Gate != nil && !opts.Gate(servers[i]) {
+					continue // breaker OPEN: instant forfeit
+				}
 				if b, ok := requestBidTimeout(now, servers[i], c, opts.Timeout); ok {
 					slots[i], got[i] = b, true
 				}
@@ -199,6 +219,96 @@ func SolicitWith(now float64, servers []ServerPort, c *qos.Contract, crit Criter
 		}()
 	}
 	wg.Wait()
+	bids := make([]bidding.Bid, 0, n)
+	for i, ok := range got {
+		if ok {
+			bids = append(bids, slots[i])
+		}
+	}
+	rankBids(bids, crit)
+	return bids
+}
+
+func hedging(opts SolicitOpts) bool {
+	return opts.HedgeQuantile > 0 && opts.HedgeQuantile < 1
+}
+
+// solicitHedged is SolicitWith's tail-latency variant. All gated-in
+// servers are solicited concurrently (bounded by conc); once the
+// HedgeQuantile fraction of them has resolved, the quantile latency for
+// this auction is known — everything still outstanding is already
+// slower than that, so each outstanding request is re-issued once to
+// the same server. Whichever attempt answers first fills the server's
+// slot; the loser drains into the buffered channel and is discarded, so
+// a server can never hold two slots and commits stay duplicate-safe.
+// The ranked result for a given bid set is byte-identical to
+// SolicitSerial's — hedging changes when bids arrive, never how they
+// rank.
+func solicitHedged(now float64, servers []ServerPort, c *qos.Contract, crit Criterion, opts SolicitOpts, conc int) []bidding.Bid {
+	n := len(servers)
+	type result struct {
+		i  int
+		b  bidding.Bid
+		ok bool
+	}
+	// Buffered for every attempt ever launched (≤ n originals + n
+	// hedges): abandoned attempts park their result here instead of
+	// leaking a goroutine.
+	resCh := make(chan result, 2*n)
+	sem := make(chan struct{}, conc)
+	launch := func(i int) {
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b, ok := requestBidTimeout(now, servers[i], c, opts.Timeout)
+			resCh <- result{i, b, ok}
+		}()
+	}
+
+	slots := make([]bidding.Bid, n)
+	got := make([]bool, n)
+	resolved := make([]bool, n)
+	inflight := make([]int8, n)
+	pending := 0
+	for i := range servers {
+		if opts.Gate != nil && !opts.Gate(servers[i]) {
+			resolved[i] = true // instant forfeit
+			continue
+		}
+		inflight[i] = 1
+		pending++
+		launch(i)
+	}
+	trigger := int(math.Ceil(opts.HedgeQuantile * float64(pending)))
+	if trigger < 1 {
+		trigger = 1
+	}
+	hedged := false
+	done := 0
+	for pending > 0 {
+		r := <-resCh
+		inflight[r.i]--
+		if !resolved[r.i] {
+			if r.ok || inflight[r.i] == 0 {
+				// First positive answer wins the slot; a decline only
+				// resolves it once no sibling attempt remains.
+				resolved[r.i] = true
+				slots[r.i], got[r.i] = r.b, r.ok
+				pending--
+				done++
+			}
+		}
+		if !hedged && done >= trigger && pending > 0 {
+			// The quantile has answered: the rest are the slow tail.
+			hedged = true
+			for i := range servers {
+				if !resolved[i] && inflight[i] > 0 {
+					inflight[i]++
+					launch(i)
+				}
+			}
+		}
+	}
 	bids := make([]bidding.Bid, 0, n)
 	for i, ok := range got {
 		if ok {
@@ -264,6 +374,9 @@ func SolicitBatch(now float64, servers []ServerPort, cs []*qos.Contract, crit Cr
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
+				}
+				if opts.Gate != nil && !opts.Gate(servers[i]) {
+					continue // breaker OPEN: forfeit the whole slate
 				}
 				slots[i] = requestBatchTimeout(now, servers[i], cs, opts.Timeout)
 			}

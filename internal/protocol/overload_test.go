@@ -1,0 +1,258 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faucets/internal/health"
+)
+
+func TestMarkOverloadedClassification(t *testing.T) {
+	base := errors.New("central: auction shed")
+	err := MarkOverloaded(base)
+	if !IsOverloaded(err) {
+		t.Fatal("MarkOverloaded not classified by IsOverloaded")
+	}
+	if !IsRetryable(err) {
+		t.Fatal("OVERLOADED must always be retryable")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("MarkOverloaded must wrap the cause")
+	}
+	if MarkOverloaded(nil) != nil {
+		t.Fatal("MarkOverloaded(nil) must stay nil")
+	}
+	if IsOverloaded(errors.New("plain")) || IsOverloaded(nil) {
+		t.Fatal("false positives")
+	}
+}
+
+// The OVERLOADED classification must survive a trip through the wire's
+// ErrorBody — the receiving side only sees a RemoteError.
+func TestOverloadedSurvivesWire(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		f, err := ReadFrame(server)
+		if err != nil || f.Type != TypePollReq {
+			return
+		}
+		_ = WriteErrorFrom(server, MarkOverloaded(errors.New("central: shed")))
+	}()
+	var reply PollOK
+	err := CallTimeout(client, time.Second, TypePollReq, PollReq{}, TypePollOK, &reply)
+	if err == nil {
+		t.Fatal("expected remote error")
+	}
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if !IsOverloaded(err) {
+		t.Fatalf("overload classification lost over the wire: %v", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("retryable mark lost over the wire: %v", err)
+	}
+}
+
+// An OPEN breaker must fail calls immediately — no dial, no timeout.
+func TestPoolBreakerOpensAndFailsFast(t *testing.T) {
+	// A listener that is closed right away: dials fail with refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	dials := atomic.Int64{}
+	p := &Pool{
+		Retry:  Retry{Attempts: 1},
+		Health: health.NewSet(health.Options{Threshold: 2, Cooldown: time.Hour}),
+		DialFunc: func(a string, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			return Dial(a, timeout)
+		},
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		var reply PollOK
+		if err := p.Call(addr, time.Second, TypePollReq, PollReq{}, TypePollOK, &reply); err == nil {
+			t.Fatal("call to dead address succeeded")
+		}
+	}
+	before := dials.Load()
+	start := time.Now()
+	var reply PollOK
+	err = p.Call(addr, time.Second, TypePollReq, PollReq{}, TypePollOK, &reply)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("breaker-open refusal took %v, want instant", d)
+	}
+	if dials.Load() != before {
+		t.Fatal("OPEN breaker still dialed")
+	}
+}
+
+// Remote refusals prove the transport works: they must not trip the
+// breaker.
+func TestPoolBreakerRemoteErrorIsSuccess(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				rc := NewReplyConn(conn)
+				for {
+					f, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					rc.SetID(f.ID)
+					_ = WriteError(rc, "refused")
+				}
+			}()
+		}
+	}()
+	set := health.NewSet(health.Options{Threshold: 2, Cooldown: time.Hour})
+	p := &Pool{Health: set, Codec: "json"}
+	defer p.Close()
+	addr := l.Addr().String()
+	for i := 0; i < 10; i++ {
+		var reply PollOK
+		err := p.Call(addr, time.Second, TypePollReq, PollReq{}, TypePollOK, &reply)
+		var remote *RemoteError
+		if !errors.As(err, &remote) {
+			t.Fatalf("call %d: err = %v, want RemoteError", i, err)
+		}
+	}
+	if got := set.State(addr); got != health.Closed {
+		t.Fatalf("breaker state after refusals = %v, want closed", got)
+	}
+}
+
+// After the cooldown a half-open probe goes through, and a healthy
+// answer closes the breaker again.
+func TestPoolBreakerHalfOpenRecovery(t *testing.T) {
+	s := startPoolEcho(t)
+	const addr = "virtual:1"
+	sick := atomic.Bool{}
+	sick.Store(true)
+	set := health.NewSet(health.Options{Threshold: 2, Cooldown: 50 * time.Millisecond})
+	p := &Pool{
+		Retry:  Retry{Attempts: 1},
+		Health: set,
+		Codec:  "json",
+		DialFunc: func(a string, timeout time.Duration) (net.Conn, error) {
+			if sick.Load() {
+				return nil, fmt.Errorf("injected dial failure to %s", a)
+			}
+			return Dial(s.addr(), timeout)
+		},
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		var reply PollOK
+		if err := p.Call(addr, time.Second, TypePollReq, PollReq{}, TypePollOK, &reply); err == nil {
+			t.Fatal("sick call succeeded")
+		}
+	}
+	if got := set.State(addr); got != health.Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+	sick.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	var reply PollOK
+	if err := p.Call(addr, time.Second, TypePollReq, PollReq{}, TypePollOK, &reply); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if got := set.State(addr); got != health.Closed {
+		t.Fatalf("state after good probe = %v, want closed", got)
+	}
+}
+
+// trickleConn delivers reads to the peer one byte at a time: the wrap
+// is on the client side here, simulating a server whose hello reply
+// dribbles in. Negotiation must still finish within its deadline when
+// the trickle is survivable, and fail cleanly when the peer stalls.
+func TestNegotiateTrickledHello(t *testing.T) {
+	s := startCodecEcho(t, CodecBinary)
+	raw, err := Dial(s.addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	conn := &trickleReadConn{Conn: raw, delay: 2 * time.Millisecond}
+	ver, err := Negotiate(conn, 2*time.Second)
+	if err != nil {
+		t.Fatalf("negotiate over trickled conn: %v", err)
+	}
+	if ver != CodecBinary {
+		t.Fatalf("negotiated %d, want binary", ver)
+	}
+}
+
+// A stalled peer — connected but silent — must cost Negotiate at most
+// its timeout, and the error must be a transport error (no silent JSON
+// fallback: the conn is useless).
+func TestNegotiateStalledPeerTimesOut(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open, never answer.
+			defer conn.Close()
+		}
+	}()
+	conn, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_, err = Negotiate(conn, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("negotiate against stalled peer succeeded")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("stalled negotiate took %v, want ~100ms", d)
+	}
+}
+
+// trickleReadConn delays between single-byte reads, so multi-byte
+// frames arrive as a slow dribble.
+type trickleReadConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *trickleReadConn) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	time.Sleep(c.delay)
+	return c.Conn.Read(p)
+}

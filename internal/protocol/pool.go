@@ -31,10 +31,30 @@ const (
 // Pool errors.
 var (
 	ErrPoolClosed = errors.New("protocol: pool closed")
+	// ErrBreakerOpen is returned by Pool.Call when the address's circuit
+	// breaker refuses the call: the peer has been failing or stalling,
+	// and the fast refusal replaces a doomed dial-and-timeout. The error
+	// is immediate — callers pay nanoseconds, not a deadline.
+	ErrBreakerOpen = errors.New("protocol: circuit breaker open")
 	// errConnBroken marks a checkout that raced a connection failure;
 	// Pool.Call treats it like any transport error and redials.
 	errConnBroken = errors.New("protocol: pooled connection broken")
 )
+
+// HealthPolicy lets a per-address failure detector veto calls and
+// observe their outcomes; health.Set is the standard implementation.
+// Implementations must be safe for concurrent use.
+type HealthPolicy interface {
+	// Allow reports whether a call to addr may proceed. False means the
+	// address's breaker is OPEN and Pool.Call fails fast with
+	// ErrBreakerOpen instead of dialing.
+	Allow(addr string) bool
+	// Record feeds one call attempt's outcome: observed latency and the
+	// transport error (nil on success). The pool reports remote
+	// refusals as success — the peer answered, so the transport is
+	// healthy; only dial/deadline/broken-pipe failures indict it.
+	Record(addr string, d time.Duration, err error)
+}
 
 // PoolObserver receives pool lifecycle events; telemetry.PoolMetrics is
 // the standard implementation (faucets_rpc_pool_* series). A nil
@@ -83,6 +103,10 @@ type Pool struct {
 	// fresh dial, "json" skips negotiation and keeps every frame JSON.
 	// Unrecognized values behave like "auto".
 	Codec string
+	// Health, when set, gates every attempt through a per-address
+	// circuit breaker and feeds it attempt outcomes. Nil disables
+	// breaking entirely.
+	Health HealthPolicy
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -189,27 +213,50 @@ func (p *Pool) call(addr string, timeout time.Duration, reqType string, req any,
 			case <-backoff.C:
 			}
 		}
+		if h := p.Health; h != nil && !h.Allow(addr) {
+			// OPEN breaker: fail fast rather than redial into a peer
+			// already known to be sick. If an earlier attempt produced a
+			// concrete transport error, surface that instead.
+			if err == nil {
+				err = fmt.Errorf("%w: %s", ErrBreakerOpen, addr)
+			}
+			return err
+		}
+		attemptStart := time.Now()
 		var pc *poolConn
 		pc, err = p.checkout(addr, timeout)
 		if err != nil {
 			if errors.Is(err, ErrPoolClosed) {
 				return err
 			}
+			p.recordHealth(addr, attemptStart, err)
 			continue // dial failure: back off and redial
 		}
 		err = pc.call(timeout, reqType, req, wantReply, reply)
 		pc.checkin()
 		if err == nil {
+			p.recordHealth(addr, attemptStart, nil)
 			return nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
-			return err // delivered and refused: retrying cannot succeed
+			// Delivered and refused: the transport is healthy, so the
+			// breaker sees a success.
+			p.recordHealth(addr, attemptStart, nil)
+			return err // retrying unchanged cannot succeed
 		}
 		// Transport trouble: pc has already been evicted by fail();
 		// loop around for a fresh connection.
+		p.recordHealth(addr, attemptStart, err)
 	}
 	return err
+}
+
+// recordHealth feeds one attempt's outcome to the breaker, if any.
+func (p *Pool) recordHealth(addr string, start time.Time, err error) {
+	if h := p.Health; h != nil {
+		h.Record(addr, time.Since(start), err)
+	}
 }
 
 // checkout hands the caller a connection to addr: an existing idle one,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"time"
 )
 
@@ -108,6 +109,43 @@ func IsRetryable(err error) bool {
 	}
 	var remote *RemoteError
 	return errors.As(err, &remote) && remote.Retryable
+}
+
+// overloadedPrefix tags a shed request on the wire. The typed
+// OVERLOADED refusal rides inside ErrorBody.Message rather than a new
+// field so the binary codec's hand-rolled ErrorBody layout — and every
+// already-deployed peer — stays byte-compatible: legacy callers simply
+// see a retryable remote error, upgraded callers can classify it.
+const overloadedPrefix = "OVERLOADED: "
+
+// overloadedMark wraps a refusal caused by load shedding (admission
+// control, deadline-unmeetable rejection). It prefixes the message so
+// the classification survives the wire.
+type overloadedMark struct{ err error }
+
+func (m *overloadedMark) Error() string { return overloadedPrefix + m.err.Error() }
+func (m *overloadedMark) Unwrap() error { return m.err }
+
+// MarkOverloaded marks err as an overload shed: the refusal is typed
+// OVERLOADED on the wire and is always retryable — the same request is
+// expected to succeed once pressure drops. Nil stays nil.
+func MarkOverloaded(err error) error {
+	if err == nil {
+		return nil
+	}
+	return MarkRetryable(&overloadedMark{err: err})
+}
+
+// IsOverloaded reports whether err is a shed-by-overload refusal,
+// either locally marked (MarkOverloaded) or received over the wire as
+// a RemoteError carrying the OVERLOADED prefix.
+func IsOverloaded(err error) bool {
+	var m *overloadedMark
+	if errors.As(err, &m) {
+		return true
+	}
+	var remote *RemoteError
+	return errors.As(err, &remote) && strings.HasPrefix(remote.Message, overloadedPrefix)
 }
 
 // Dial connects to addr within timeout (zero = DefaultCallTimeout).

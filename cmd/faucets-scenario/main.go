@@ -1,0 +1,152 @@
+// Command faucets-scenario executes a declarative workload scenario
+// (internal/scenario) against either the discrete-event simulator or a
+// live loopback TCP grid, prints a human summary, and optionally writes
+// the machine-readable ScenarioReport JSON and gates it against a
+// committed baseline — the scenario-level counterpart of benchgate.
+//
+// Usage:
+//
+//	faucets-scenario -scenario examples/scenarios/flash-crowd.json
+//	faucets-scenario -scenario examples/scenarios/flash-crowd.json -backend grid
+//	faucets-scenario -scenario examples/scenarios/sustained-soak.json \
+//	    -backend grid -out report.json -baseline SCENARIO_BASELINE.json
+//
+// Exit status is non-zero when the run fails, the baseline gate trips,
+// or the scenario's SLO block is violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"faucets/internal/scenario"
+)
+
+func main() {
+	var (
+		path      = flag.String("scenario", "", "scenario spec JSON (required)")
+		backend   = flag.String("backend", "gridsim", "executor: gridsim, grid, or both")
+		out       = flag.String("out", "", "write the ScenarioReport JSON here (with -backend both, the backend name is inserted before the extension)")
+		baseline  = flag.String("baseline", "", "gate against this committed ScenarioReport")
+		ttcTol    = flag.Float64("ttc-tolerance", 1.0, "allowed relative p99 time-to-contract increase over baseline (1.0 = 2x)")
+		missSlack = flag.Float64("miss-slack", 0.05, "allowed absolute deadline-miss-rate increase over baseline")
+		seed      = flag.Uint64("seed", 0, "override the scenario seed (0 keeps the spec's)")
+		duration  = flag.Float64("duration", 0, "override the scenario duration in virtual seconds (0 keeps the spec's)")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "faucets-scenario: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := scenario.Load(*path)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *duration != 0 {
+		spec.Duration = *duration
+	}
+
+	var backends []string
+	switch *backend {
+	case "gridsim", "grid":
+		backends = []string{*backend}
+	case "both":
+		backends = []string{"gridsim", "grid"}
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want gridsim, grid, or both)", *backend))
+	}
+
+	failed := false
+	for _, b := range backends {
+		var rep *scenario.ScenarioReport
+		var err error
+		switch b {
+		case "gridsim":
+			rep, err = scenario.RunSim(spec)
+		case "grid":
+			rep, err = scenario.RunGrid(spec)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		summarize(rep)
+		if *out != "" {
+			dest := *out
+			if len(backends) > 1 {
+				ext := filepath.Ext(dest)
+				dest = strings.TrimSuffix(dest, ext) + "." + b + ext
+			}
+			if err := rep.WriteJSON(dest); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("report written to %s\n", dest)
+		}
+		if err := rep.CheckSLO(spec.SLO); err != nil {
+			fmt.Fprintf(os.Stderr, "faucets-scenario: %v\n", err)
+			failed = true
+		}
+		if *baseline != "" {
+			base, err := scenario.LoadReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			if base.Backend != rep.Backend {
+				// A gridsim dry run is never gated against a grid
+				// baseline (different units); only matching backends
+				// compare.
+				continue
+			}
+			gate := scenario.GateOpts{TTCTolerance: *ttcTol, MissRateSlack: *missSlack}
+			if err := scenario.Compare(base, rep, gate); err != nil {
+				fmt.Fprintf(os.Stderr, "faucets-scenario: gate: %v\n", err)
+				failed = true
+			} else {
+				fmt.Printf("gate: ok vs %s (p99 TTC %.3f <= %.3f x %.2f; miss rate %.4f <= %.4f + %.2f)\n",
+					*baseline, rep.TTC.P99, base.TTC.P99, 1+*ttcTol,
+					rep.DeadlineMissRate, base.DeadlineMissRate, *missSlack)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func summarize(r *scenario.ScenarioReport) {
+	unit := "virtual s"
+	if r.Backend == "grid" {
+		unit = "wall ms"
+	}
+	fmt.Printf("scenario %s [%s] seed=%d servers=%d\n", r.Scenario, r.Backend, r.Seed, r.Servers)
+	fmt.Printf("  jobs %d submitted %d placed %d rejected %d shed %d finished %d settled %d\n",
+		r.Jobs, r.Submitted, r.Placed, r.Rejected, r.Shed, r.Finished, r.Settled)
+	fmt.Printf("  ttc (%s)        p50=%.3f p95=%.3f p99=%.3f max=%.3f n=%d\n",
+		unit, r.TTC.P50, r.TTC.P95, r.TTC.P99, r.TTC.Max, r.TTC.N)
+	fmt.Printf("  response (virtual s) p50=%.1f p95=%.1f p99=%.1f max=%.1f n=%d\n",
+		r.Response.P50, r.Response.P95, r.Response.P99, r.Response.Max, r.Response.N)
+	fmt.Printf("  settle lag (%s) p50=%.3f p95=%.3f p99=%.3f n=%d\n",
+		unit, r.SettleLag.P50, r.SettleLag.P95, r.SettleLag.P99, r.SettleLag.N)
+	fmt.Printf("  deadlines met %d missed %d (miss rate %.4f)\n",
+		r.DeadlineMet, r.DeadlineMissed, r.DeadlineMissRate)
+	fmt.Printf("  revenue %.2f utilization %.4f\n", r.Revenue, r.Utilization)
+	if r.OpenLoop != nil {
+		fmt.Printf("  open-loop: scheduled %.2f/s achieved %.2f/s error %+.4f max-lag %.1fms\n",
+			r.OpenLoop.ScheduledJobsPerSec, r.OpenLoop.AchievedJobsPerSec,
+			r.OpenLoop.RateError, r.OpenLoop.MaxSubmitLagMs)
+	}
+	if r.WallSeconds > 0 {
+		fmt.Printf("  wall %.2fs\n", r.WallSeconds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "faucets-scenario: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,392 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"faucets/internal/bidding"
+	"faucets/internal/client"
+	"faucets/internal/daemon"
+	"faucets/internal/grid"
+	"faucets/internal/market"
+	"faucets/internal/protocol"
+	"faucets/internal/telemetry"
+	"faucets/internal/workload"
+)
+
+// RunGrid executes the scenario as OPEN-LOOP load against a live
+// loopback TCP grid (internal/grid): real wire protocol, real daemons,
+// real settlement, with the scenario's chaos profiles faulting the
+// daemons they name.
+//
+// Open-loop means the driver fires every submission at its scheduled
+// wall instant (SubmitAt / TimeScale seconds after start) regardless of
+// how many earlier jobs have completed, committed, or even answered.
+// A closed-loop harness — submit, wait, submit — self-throttles
+// exactly when the grid degrades, hiding the overload it was supposed
+// to measure; an open-loop one keeps the offered load fixed so shed
+// counts, breaker trips, and latency tails mean what they say. The
+// report's OpenLoop block records how faithfully the schedule was held.
+//
+// The trace is the same one RunSim replays (same seed ⇒ same jobs), so
+// a gridsim dry run and a live soak of one scenario are comparing
+// mechanisms, not workloads.
+func RunGrid(s *Spec) (*ScenarioReport, error) {
+	trace, err := s.GenerateTrace()
+	if err != nil {
+		return nil, err
+	}
+	machines, err := s.machines()
+	if err != nil {
+		return nil, err
+	}
+
+	ts := s.Grid.TimeScale
+	if ts <= 0 {
+		ts = 1000
+	}
+	var weathers []*bidding.Weather
+	var histories []*bidding.History
+	clusters := make([]grid.ClusterSpec, 0, len(machines))
+	for _, m := range machines {
+		factory, err := schedulerFactory(m.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		bidder, err := makeBidder(m.Bidder)
+		if err != nil {
+			return nil, err
+		}
+		switch b := bidder.(type) {
+		case *bidding.Weather:
+			weathers = append(weathers, b)
+		case *bidding.History:
+			histories = append(histories, b)
+		}
+		cs := grid.ClusterSpec{
+			Spec:         m.Spec,
+			Apps:         m.Apps,
+			NewScheduler: factory,
+			Bidder:       bidder,
+		}
+		if m.Chaos != nil {
+			cs.Chaos = m.Chaos.Injector()
+		}
+		clusters = append(clusters, cs)
+	}
+
+	opts := grid.Options{
+		TimeScale:        ts,
+		Users:            map[string]string{"scenario": "pw"},
+		RPCTimeout:       msOr(s.Grid.RPCTimeoutMs, 500),
+		BidTimeout:       msOr(s.Grid.BidTimeoutMs, 0),
+		SettleRetry:      msOr(s.Grid.SettleRetryMs, 25),
+		MaxInflight:      s.Grid.MaxInflight,
+		BreakerThreshold: s.Grid.BreakerThreshold,
+		BreakerCooldown:  msOr(s.Grid.BreakerCooldownMs, 0),
+		HedgeQuantile:    s.Grid.HedgeQuantile,
+		PoolSize:         s.Grid.PoolSize,
+		WireCodec:        s.Grid.WireCodec,
+	}
+	g, err := grid.Start(clusters, opts)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: grid start: %w", err)
+	}
+	defer g.Close()
+
+	// §5.2.1 global information: weather/history bidders read the
+	// Central Server, exactly as cmd/faucetsd wires them in production.
+	for _, w := range weathers {
+		w.SetSource(&daemon.CentralWeather{Addr: g.CentralAddr, Timeout: opts.RPCTimeout})
+	}
+	for _, h := range histories {
+		h.View = &daemon.CentralHistory{Addr: g.CentralAddr, Timeout: opts.RPCTimeout}
+	}
+
+	cl, err := g.Login("scenario", "pw")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: login: %w", err)
+	}
+	defer cl.Close()
+
+	// Fleet-utilization sampler: poll every daemon's used-PE gauge on a
+	// fixed wall cadence and average. Time-weighted enough at 10ms
+	// against runs lasting hundreds of ms and up.
+	type utilSample struct{ sum, n float64 }
+	utilStop := make(chan struct{})
+	utilByServer := make(map[string]*utilSample, len(machines))
+	var utilWG sync.WaitGroup
+	for i := range machines {
+		utilByServer[machines[i].Spec.Name] = &utilSample{}
+	}
+	utilWG.Add(1)
+	go func() {
+		defer utilWG.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-utilStop:
+				return
+			case <-tick.C:
+				for i, d := range g.Daemons {
+					var sb strings.Builder
+					if err := d.Metrics().WritePrometheus(&sb); err != nil {
+						continue
+					}
+					used, ok := telemetry.SampleValue(sb.String(), "faucets_daemon_used_pes")
+					if !ok {
+						continue
+					}
+					u := utilByServer[machines[i].Spec.Name]
+					u.sum += used / float64(machines[i].Spec.NumPE)
+					u.n++
+				}
+			}
+		}
+	}()
+
+	// ---- Open-loop dispatch ----------------------------------------
+	type outcome struct {
+		item     workload.Item
+		place    *client.Placement
+		dispatch time.Time // wall instant Place was issued
+		ttcMs    float64
+		shed     bool
+		rejected bool
+	}
+	var (
+		mu       sync.Mutex
+		outs     = make([]*outcome, 0, len(trace.Items))
+		wg       sync.WaitGroup
+		maxLagMs float64
+	)
+	start := time.Now()
+	var lastFire time.Time
+	for _, it := range trace.Items {
+		target := start.Add(time.Duration(it.SubmitAt / ts * float64(time.Second)))
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		fire := time.Now()
+		lastFire = fire
+		if lag := fire.Sub(target).Seconds() * 1000; lag > maxLagMs {
+			maxLagMs = lag
+		}
+		it := it
+		wg.Add(1)
+		// The placement runs concurrently: the dispatch loop never waits
+		// for an auction, let alone a completion — that is the property
+		// TestOpenLoopHoldsSchedule pins.
+		go func() {
+			defer wg.Done()
+			o := &outcome{item: it, dispatch: time.Now()}
+			p, err := cl.Place(it.Contract, market.LeastCost{})
+			o.ttcMs = time.Since(o.dispatch).Seconds() * 1000
+			if err != nil {
+				if protocol.IsOverloaded(err) {
+					o.shed = true
+				} else {
+					o.rejected = true
+				}
+			} else {
+				o.place = p
+				if err := cl.Start(p); err != nil {
+					o.place, o.rejected = nil, true
+				}
+			}
+			mu.Lock()
+			outs = append(outs, o)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// ---- Drain: completions, then settlements ----------------------
+	// One watcher goroutine per placed job: a single sequential status
+	// sweep over hundreds of jobs takes long enough (especially under
+	// the race detector) to inflate every observed finish time — and
+	// with it response quantiles and deadline misses — by the sweep
+	// length.
+	drain := msOr(s.Grid.DrainTimeoutMs, 30_000)
+	deadline := time.Now().Add(drain)
+	finishWall := map[string]time.Time{} // job ID → observed finish
+	var finMu sync.Mutex
+	var drainWG sync.WaitGroup
+	for _, o := range outs {
+		if o.place == nil {
+			continue
+		}
+		o := o
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for time.Now().Before(deadline) {
+				st, err := cl.Status(o.place)
+				if err == nil {
+					switch st.State {
+					case "finished":
+						finMu.Lock()
+						finishWall[o.place.JobID] = time.Now()
+						finMu.Unlock()
+						return
+					case "rejected", "killed":
+						o.place, o.rejected = nil, true
+						return
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	drainWG.Wait()
+	// Give settlement outboxes a moment to flush every finished job into
+	// the Central Server's contract history.
+	for time.Now().Before(deadline) && g.Central.DB.HistoryLen() < len(finishWall) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(utilStop)
+	utilWG.Wait()
+	wall := time.Since(start).Seconds()
+
+	// Per-job settlement instants from the contract history (Time is
+	// wall unix seconds on the live Central Server).
+	settleAt := map[string]float64{}
+	for _, rec := range g.Central.DB.RecentContracts(nil, len(trace.Items)+1) {
+		settleAt[rec.JobID] = rec.Time
+	}
+
+	// ---- Report -----------------------------------------------------
+	r := &ScenarioReport{
+		Scenario:             s.Name,
+		Backend:              "grid",
+		Seed:                 s.Seed,
+		Servers:              len(machines),
+		Jobs:                 len(trace.Items),
+		Submitted:            len(outs),
+		RevenuePerServer:     map[string]float64{},
+		UtilizationPerServer: map[string]float64{},
+		Counters:             map[string]float64{},
+		WallSeconds:          wall,
+	}
+	var ttc, resp, lag []float64
+	for _, o := range outs {
+		switch {
+		case o.shed:
+			r.Shed++
+		case o.rejected:
+			r.Rejected++
+		default:
+			r.Placed++
+			ttc = append(ttc, o.ttcMs)
+		}
+		if o.place == nil {
+			continue
+		}
+		fin, ok := finishWall[o.place.JobID]
+		if !ok {
+			continue
+		}
+		r.Finished++
+		// Virtual response time: wall dispatch→finish compressed back
+		// through the timescale, the same clock the contracts are in.
+		vresp := fin.Sub(o.dispatch).Seconds() * ts
+		resp = append(resp, vresp)
+		if !o.item.Contract.Payoff.Zero() {
+			if hd := o.item.Contract.HardDeadline(); hd > 0 && vresp > hd {
+				r.DeadlineMissed++
+			} else {
+				r.DeadlineMet++
+			}
+		}
+		if at, ok := settleAt[o.place.JobID]; ok {
+			r.Settled++
+			l := (at - float64(fin.UnixNano())/1e9) * 1000
+			if l < 0 {
+				// Settlement can land before our next status poll
+				// observes the finish; that is lag zero, not negative.
+				l = 0
+			}
+			lag = append(lag, l)
+		}
+	}
+	r.TTC = Summarize(ttc)
+	r.Response = Summarize(resp)
+	r.SettleLag = Summarize(lag)
+	if n := r.DeadlineMet + r.DeadlineMissed; n > 0 {
+		r.DeadlineMissRate = float64(r.DeadlineMissed) / float64(n)
+	}
+
+	totalPE := 0
+	var busyPE float64
+	for _, m := range machines {
+		name := m.Spec.Name
+		r.RevenuePerServer[name] = g.Central.DB.Revenue(name)
+		r.Revenue += r.RevenuePerServer[name]
+		if u := utilByServer[name]; u.n > 0 {
+			r.UtilizationPerServer[name] = u.sum / u.n
+			busyPE += (u.sum / u.n) * float64(m.Spec.NumPE)
+		}
+		totalPE += m.Spec.NumPE
+	}
+	if totalPE > 0 {
+		r.Utilization = busyPE / float64(totalPE)
+	}
+
+	// Overload-protection counters scraped from the live registries.
+	var central strings.Builder
+	if err := g.Central.Metrics.WritePrometheus(&central); err == nil {
+		text := central.String()
+		scrape(r.Counters, text, "central.shed.inflight", `faucets_central_shed_total{reason="inflight"}`)
+		scrape(r.Counters, text, "central.shed.deadline", `faucets_central_shed_total{reason="deadline"}`)
+		scrape(r.Counters, text, "central.brownout_transitions", "faucets_central_brownout_transitions_total")
+		scrape(r.Counters, text, "central.jobs_settled", "faucets_central_jobs_settled_total")
+		scrape(r.Counters, text, "client.breaker_skips", "faucets_auction_breaker_skips_total")
+	}
+	for _, d := range g.Daemons {
+		var sb strings.Builder
+		if err := d.Metrics().WritePrometheus(&sb); err != nil {
+			continue
+		}
+		text := sb.String()
+		if v, ok := telemetry.SampleValue(text, "faucets_daemon_jobs_finished_total"); ok {
+			r.Counters["daemon.jobs_finished"] += v
+		}
+		if v, ok := telemetry.SampleValue(text, "faucets_daemon_outbox_poison_total"); ok {
+			r.Counters["daemon.outbox_poison"] += v
+		}
+	}
+
+	// ---- Open-loop fidelity -----------------------------------------
+	if len(trace.Items) > 1 {
+		span := trace.Items[len(trace.Items)-1].SubmitAt / ts // scheduled wall window
+		achievedSpan := lastFire.Sub(start).Seconds()
+		ol := &OpenLoopStats{MaxSubmitLagMs: maxLagMs}
+		if span > 0 {
+			ol.ScheduledJobsPerSec = float64(len(trace.Items)) / span
+		}
+		if achievedSpan > 0 {
+			ol.AchievedJobsPerSec = float64(len(outs)) / achievedSpan
+		}
+		if ol.ScheduledJobsPerSec > 0 {
+			ol.RateError = (ol.AchievedJobsPerSec - ol.ScheduledJobsPerSec) / ol.ScheduledJobsPerSec
+		}
+		r.OpenLoop = ol
+	}
+	return r, nil
+}
+
+func scrape(into map[string]float64, text, key, selector string) {
+	if v, ok := telemetry.SampleValue(text, selector); ok {
+		into[key] = v
+	}
+}
+
+func msOr(ms float64, def float64) time.Duration {
+	if ms <= 0 {
+		ms = def
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}

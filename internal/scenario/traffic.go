@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"faucets/internal/sim"
+	"faucets/internal/workload"
+)
+
+// Process is one arrival process in a scenario. Processes are layered
+// additively: each generates its own submissions in [0, Duration) from
+// its own seeded RNG stream, then the streams are merged into one
+// SubmitAt-sorted trace. Because every process owns an independent
+// stream derived from (scenario seed, process index), adding or
+// removing one process never perturbs the arrivals of the others —
+// the same paired-comparison property internal/sim's per-entity RNGs
+// give the simulator.
+//
+// Kinds:
+//
+//	poisson     — constant-rate Poisson arrivals (Rate jobs/s).
+//	diurnal     — inhomogeneous Poisson with a sinusoidal day curve:
+//	              rate(t) = Rate·(1 + Amplitude·sin(2π(t+Phase)/Period)),
+//	              thinned from a Rate·(1+Amplitude) envelope
+//	              (Lewis–Shedler). Period defaults to the scenario
+//	              duration (one "day" per run).
+//	onoff       — bursty ON/OFF source: exponentially-distributed ON
+//	              periods (mean On) emitting Poisson arrivals at Rate,
+//	              separated by silent OFF periods (mean Off).
+//	flash       — flash crowd: a homogeneous Poisson burst at Rate
+//	              confined to [At−Width/2, At+Width/2].
+//	adversarial — adversarial-deadline batches: every Every seconds, a
+//	              synchronized Burst of jobs lands within a 1-second
+//	              spread, every one carrying a deadline (the process
+//	              forces DeadlineFraction=1 and a tight default
+//	              tightness of 1.05) — the worst case for admission
+//	              and bidding.
+type Process struct {
+	Kind string `json:"kind"`
+	// Rate is the arrival rate in jobs per virtual second (poisson,
+	// diurnal, onoff while ON, flash).
+	Rate float64 `json:"rate,omitempty"`
+	// Amplitude (diurnal) is the relative swing of the sinusoid, in
+	// [0,1]; 0.8 means the trough runs at 20% of the mean rate.
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Period (diurnal) is the length of one day in virtual seconds
+	// (default: scenario duration).
+	Period float64 `json:"period,omitempty"`
+	// Phase (diurnal) shifts the curve (virtual seconds).
+	Phase float64 `json:"phase,omitempty"`
+	// On/Off (onoff) are the mean burst and silence lengths (virtual
+	// seconds).
+	On  float64 `json:"on,omitempty"`
+	Off float64 `json:"off,omitempty"`
+	// At/Width (flash) center and bound the spike window.
+	At    float64 `json:"at,omitempty"`
+	Width float64 `json:"width,omitempty"`
+	// Every/Burst (adversarial) space and size the deadline batches.
+	Every float64 `json:"every,omitempty"`
+	Burst int     `json:"burst,omitempty"`
+	// Jobs overrides the scenario-level job mix for this process only.
+	Jobs *JobMix `json:"jobs,omitempty"`
+}
+
+func (p *Process) validate() error {
+	switch p.Kind {
+	case "poisson":
+		if p.Rate <= 0 {
+			return fmt.Errorf("poisson needs rate > 0, got %v", p.Rate)
+		}
+	case "diurnal":
+		if p.Rate <= 0 {
+			return fmt.Errorf("diurnal needs rate > 0, got %v", p.Rate)
+		}
+		if p.Amplitude < 0 || p.Amplitude > 1 {
+			return fmt.Errorf("diurnal amplitude %v outside [0,1]", p.Amplitude)
+		}
+		if p.Period < 0 {
+			return fmt.Errorf("diurnal period %v negative", p.Period)
+		}
+	case "onoff":
+		if p.Rate <= 0 || p.On <= 0 || p.Off <= 0 {
+			return fmt.Errorf("onoff needs rate/on/off > 0, got %v/%v/%v", p.Rate, p.On, p.Off)
+		}
+	case "flash":
+		if p.Rate <= 0 || p.Width <= 0 {
+			return fmt.Errorf("flash needs rate and width > 0, got %v/%v", p.Rate, p.Width)
+		}
+	case "adversarial":
+		if p.Every <= 0 || p.Burst <= 0 {
+			return fmt.Errorf("adversarial needs every > 0 and burst > 0, got %v/%d", p.Every, p.Burst)
+		}
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownKind, p.Kind)
+	}
+	return nil
+}
+
+// arrival is one generated submission before global ordering.
+type arrival struct {
+	t    float64
+	proc int // generating process index (tie-break for a stable merge)
+	idx  int // ordinal within the process
+	mix  workload.Spec
+	rng  *sim.RNG // per-process shape stream
+}
+
+// GenerateTrace expands the scenario's traffic processes into one
+// SubmitAt-sorted workload trace, deterministically from Spec.Seed.
+// Each process derives two independent streams from (seed, index): one
+// clocks arrivals, one draws job shapes — so the number of arrivals a
+// process produces never disturbs another process's jobs.
+func (s *Spec) GenerateTrace() (*workload.Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	base := s.Jobs.shape()
+	var all []arrival
+	for pi := range s.Traffic {
+		p := &s.Traffic[pi]
+		// golden-ratio stride keeps per-process seeds well separated
+		// even for adjacent scenario seeds.
+		root := sim.NewRNG(s.Seed ^ (0x9e3779b97f4a7c15 * uint64(pi+1)))
+		clock := root.Split()
+		shapes := root.Split()
+		mix := base
+		if p.Jobs != nil {
+			mix = p.Jobs.shape()
+		}
+		times := p.arrivals(clock, s.Duration)
+		if p.Kind == "adversarial" {
+			// Adversarial batches exist to stress deadlines: force the
+			// payoff on and keep it tight unless the mix overrides it.
+			mix.DeadlineFraction = 1
+			if p.Jobs == nil || p.Jobs.DeadlineTightness == 0 {
+				mix.DeadlineTightness = 1.05
+			}
+		}
+		for i, t := range times {
+			all = append(all, arrival{t: t, proc: pi, idx: i, mix: mix, rng: shapes})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].t != all[j].t {
+			return all[i].t < all[j].t
+		}
+		if all[i].proc != all[j].proc {
+			return all[i].proc < all[j].proc
+		}
+		return all[i].idx < all[j].idx
+	})
+	tr := &workload.Trace{Items: make([]workload.Item, 0, len(all))}
+	// Record provenance in the embedded spec: the trace regenerates from
+	// the scenario, not from workload.Generate.
+	tr.Spec = base
+	tr.Spec.Seed = s.Seed
+	tr.Spec.Jobs = len(all)
+	for gi, a := range all {
+		// Shapes are drawn from the process's own stream in process-local
+		// arrival order (the merge above only reorders globally), so the
+		// draw sequence is independent of how other processes interleave.
+		tr.Items = append(tr.Items, workload.Item{
+			ID:       fmt.Sprintf("job-%06d", gi),
+			SubmitAt: a.t,
+			User:     fmt.Sprintf("user-%d", gi%7),
+			Contract: workload.Sample(a.rng, a.mix, a.idx),
+		})
+	}
+	return tr, nil
+}
+
+// arrivals generates this process's submission times in [0, horizon),
+// sorted ascending, consuming only the given clock stream.
+func (p *Process) arrivals(rng *sim.RNG, horizon float64) []float64 {
+	var out []float64
+	switch p.Kind {
+	case "poisson":
+		for t := rng.Exp(1 / p.Rate); t < horizon; t += rng.Exp(1 / p.Rate) {
+			out = append(out, t)
+		}
+	case "diurnal":
+		period := p.Period
+		if period == 0 {
+			period = horizon
+		}
+		// Lewis–Shedler thinning against the peak-rate envelope.
+		peak := p.Rate * (1 + p.Amplitude)
+		for t := rng.Exp(1 / peak); t < horizon; t += rng.Exp(1 / peak) {
+			rate := p.Rate * (1 + p.Amplitude*math.Sin(2*math.Pi*(t+p.Phase)/period))
+			if rng.Float64()*peak < rate {
+				out = append(out, t)
+			}
+		}
+	case "onoff":
+		t := 0.0
+		for t < horizon {
+			end := t + rng.Exp(p.On)
+			if end > horizon {
+				end = horizon
+			}
+			for a := t + rng.Exp(1/p.Rate); a < end; a += rng.Exp(1 / p.Rate) {
+				out = append(out, a)
+			}
+			t = end + rng.Exp(p.Off)
+		}
+	case "flash":
+		lo := p.At - p.Width/2
+		hi := p.At + p.Width/2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > horizon {
+			hi = horizon
+		}
+		for t := lo + rng.Exp(1/p.Rate); t < hi; t += rng.Exp(1 / p.Rate) {
+			out = append(out, t)
+		}
+		sort.Float64s(out)
+	case "adversarial":
+		for center := p.Every; center < horizon; center += p.Every {
+			for i := 0; i < p.Burst; i++ {
+				// one-second spread around the batch instant
+				out = append(out, center+rng.Range(0, 1))
+			}
+		}
+		sort.Float64s(out)
+	}
+	return out
+}

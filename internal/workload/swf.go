@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -90,6 +91,14 @@ func ParseSWF(r io.Reader, opts SWFOptions) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("workload: swf read: %w", err)
 	}
+	// Real archive logs occasionally record submissions out of order
+	// (clock skew between front-ends); Trace promises SubmitAt-sorted
+	// items, and the open-loop load driver replays the schedule in
+	// order, so restore the invariant here. The sort is stable: ties
+	// keep file order. MaxJobs then keeps the earliest-submitted jobs.
+	sort.SliceStable(tr.Items, func(i, j int) bool {
+		return tr.Items[i].SubmitAt < tr.Items[j].SubmitAt
+	})
 	if opts.MaxJobs > 0 && len(tr.Items) > opts.MaxJobs {
 		tr.Items = tr.Items[:opts.MaxJobs]
 	}

@@ -90,6 +90,108 @@ func TestParseSWFErrors(t *testing.T) {
 	}
 }
 
+func TestParseSWFCommentOnly(t *testing.T) {
+	const commentsOnly = `; SWF header
+; Computer: Test Cluster
+# trailing comment style
+
+`
+	tr, err := ParseSWF(strings.NewReader(commentsOnly), SWFOptions{})
+	if err != nil {
+		t.Fatalf("comment-only file rejected: %v", err)
+	}
+	if len(tr.Items) != 0 {
+		t.Fatalf("comment-only file produced %d items", len(tr.Items))
+	}
+	// Empty input likewise.
+	tr, err = ParseSWF(strings.NewReader(""), SWFOptions{})
+	if err != nil || len(tr.Items) != 0 {
+		t.Fatalf("empty file: items=%v err=%v", tr.Items, err)
+	}
+}
+
+func TestParseSWFTruncatedLine(t *testing.T) {
+	// A record cut off mid-line (fewer than the 5 fields this importer
+	// needs) must fail loudly with the line number, not be skipped.
+	truncated := "1  0  10 3600  64 -1 -1 64 3600 -1 1 7 1 1 -1 -1 -1 -1\n2  30  5 1800\n"
+	_, err := ParseSWF(strings.NewReader(truncated), SWFOptions{})
+	if err == nil {
+		t.Fatal("truncated line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}
+
+// TestParseSWFOutOfOrderSubmits: archive logs occasionally record
+// submissions out of order (clock skew between front-ends); the parser
+// must restore Trace's SubmitAt-sorted invariant, and MaxJobs must then
+// keep the earliest-submitted jobs, not the first file lines.
+func TestParseSWFOutOfOrderSubmits(t *testing.T) {
+	const outOfOrder = `1  200  10 3600  4 -1 -1  4 3600 -1 1 1  1 1 -1 -1 -1 -1
+2  50   10 1800  2 -1 -1  2 1800 -1 1 2  1 1 -1 -1 -1 -1
+3  125  10 600   8 -1 -1  8 600  -1 1 3  1 1 -1 -1 -1 -1
+`
+	tr, err := ParseSWF(strings.NewReader(outOfOrder), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"swf-2", "swf-3", "swf-1"}
+	for i, want := range wantOrder {
+		if tr.Items[i].ID != want {
+			t.Fatalf("position %d: got %s, want %s (items not re-sorted)", i, tr.Items[i].ID, want)
+		}
+	}
+	prev := -1.0
+	for i, it := range tr.Items {
+		if it.SubmitAt < prev {
+			t.Fatalf("item %d out of order after parse", i)
+		}
+		prev = it.SubmitAt
+	}
+	// MaxJobs keeps the two EARLIEST submissions (50, 125).
+	tr, err = ParseSWF(strings.NewReader(outOfOrder), SWFOptions{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Items) != 2 || tr.Items[0].ID != "swf-2" || tr.Items[1].ID != "swf-3" {
+		t.Fatalf("MaxJobs kept %v, want the earliest-submitted two", tr.Items)
+	}
+}
+
+// TestSWFRoundTripFixture: an imported SWF trace survives Save/LoadTrace
+// intact — the JSON trace format is a faithful container for archive
+// logs, not only for synthetic workloads.
+func TestSWFRoundTripFixture(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{Malleable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "swf-trace.json")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items) != len(tr.Items) {
+		t.Fatalf("round trip lost items: %d -> %d", len(tr.Items), len(back.Items))
+	}
+	for i := range tr.Items {
+		a, b := tr.Items[i], back.Items[i]
+		if a.ID != b.ID || a.SubmitAt != b.SubmitAt || a.User != b.User {
+			t.Fatalf("item %d metadata changed: %+v vs %+v", i, a, b)
+		}
+		if a.Contract.Work != b.Contract.Work ||
+			a.Contract.MinPE != b.Contract.MinPE ||
+			a.Contract.MaxPE != b.Contract.MaxPE ||
+			a.Contract.EffMin != b.Contract.EffMin {
+			t.Fatalf("item %d contract changed: %+v vs %+v", i, a.Contract, b.Contract)
+		}
+	}
+}
+
 func TestLoadSWF(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.swf")
 	if err := os.WriteFile(path, []byte(sampleSWF), 0o644); err != nil {

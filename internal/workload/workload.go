@@ -53,25 +53,57 @@ type Spec struct {
 	Apps []string `json:"apps,omitempty"`
 }
 
-// Validate checks the spec.
+// Spec validation errors. Each invalid field rejects with a distinct
+// sentinel so callers (and the scenario engine, which builds Specs from
+// user-written JSON) can classify failures with errors.Is instead of
+// string matching.
+var (
+	// ErrNonPositiveJobs rejects Jobs <= 0: a zero- or negative-job spec
+	// would generate a degenerate empty trace instead of failing loudly.
+	ErrNonPositiveJobs = errors.New("workload: job count must be positive")
+	// ErrNonPositiveInterarrival rejects MeanInterarrival <= 0, which
+	// would collapse every submission onto t=0 (or run Exp backwards).
+	ErrNonPositiveInterarrival = errors.New("workload: mean interarrival must be positive")
+	// ErrBadWorkRange rejects MinWork <= 0 or MaxWork < MinWork.
+	ErrBadWorkRange = errors.New("workload: work range requires 0 < min <= max")
+	// ErrBadMaxPE rejects MaxPE < 1.
+	ErrBadMaxPE = errors.New("workload: MaxPE must be >= 1")
+	// ErrBadFraction rejects a probability field outside [0,1].
+	ErrBadFraction = errors.New("workload: fraction outside [0,1]")
+	// ErrBadTightness rejects DeadlineTightness < 1 when deadlines are on.
+	ErrBadTightness = errors.New("workload: DeadlineTightness must be >= 1")
+)
+
+// Validate checks the spec: the arrival-process fields first, then the
+// job-shape fields (ValidateShape).
 func (s *Spec) Validate() error {
 	switch {
-	case s.Jobs < 0:
-		return errors.New("workload: negative job count")
+	case s.Jobs <= 0:
+		return fmt.Errorf("%w: got %d", ErrNonPositiveJobs, s.Jobs)
 	case s.MeanInterarrival <= 0:
-		return errors.New("workload: non-positive interarrival")
+		return fmt.Errorf("%w: got %v", ErrNonPositiveInterarrival, s.MeanInterarrival)
+	}
+	return s.ValidateShape()
+}
+
+// ValidateShape checks only the job-shape fields (work range, processor
+// bounds, mix fractions, deadline tightness), ignoring the arrival
+// fields. The scenario engine uses it for specs whose arrival times come
+// from its own traffic processes rather than Seed/Jobs/MeanInterarrival.
+func (s *Spec) ValidateShape() error {
+	switch {
 	case s.MinWork <= 0 || s.MaxWork < s.MinWork:
-		return fmt.Errorf("workload: bad work range [%v,%v]", s.MinWork, s.MaxWork)
+		return fmt.Errorf("%w: [%v,%v]", ErrBadWorkRange, s.MinWork, s.MaxWork)
 	case s.MaxPE < 1:
-		return errors.New("workload: MaxPE < 1")
+		return fmt.Errorf("%w: got %d", ErrBadMaxPE, s.MaxPE)
 	case s.AdaptiveFraction < 0 || s.AdaptiveFraction > 1:
-		return errors.New("workload: AdaptiveFraction outside [0,1]")
+		return fmt.Errorf("%w: AdaptiveFraction=%v", ErrBadFraction, s.AdaptiveFraction)
 	case s.DeadlineFraction < 0 || s.DeadlineFraction > 1:
-		return errors.New("workload: DeadlineFraction outside [0,1]")
+		return fmt.Errorf("%w: DeadlineFraction=%v", ErrBadFraction, s.DeadlineFraction)
 	case s.DeadlineFraction > 0 && s.DeadlineTightness < 1:
-		return errors.New("workload: DeadlineTightness must be >= 1")
+		return fmt.Errorf("%w: got %v", ErrBadTightness, s.DeadlineTightness)
 	case s.PhasedFraction < 0 || s.PhasedFraction > 1:
-		return errors.New("workload: PhasedFraction outside [0,1]")
+		return fmt.Errorf("%w: PhasedFraction=%v", ErrBadFraction, s.PhasedFraction)
 	}
 	return nil
 }
@@ -113,75 +145,86 @@ func Generate(s Spec) (*Trace, error) {
 		return nil, err
 	}
 	rng := sim.NewRNG(s.Seed)
-	apps := s.Apps
-	if len(apps) == 0 {
-		apps = []string{"synth"}
-	}
 	tr := &Trace{Spec: s, Items: make([]Item, 0, s.Jobs)}
 	now := 0.0
 	for i := 0; i < s.Jobs; i++ {
 		now += rng.Exp(s.MeanInterarrival)
-		work := rng.LogUniform(s.MinWork, s.MaxWork)
-
-		// Power-of-two-biased request size.
-		maxK := 0
-		for 1<<(maxK+1) <= s.MaxPE {
-			maxK++
-		}
-		pe := 1 << rng.Intn(maxK+1)
-		if pe > s.MaxPE {
-			pe = s.MaxPE
-		}
-		c := &qos.Contract{
-			App:   apps[i%len(apps)],
-			MinPE: pe,
-			MaxPE: pe,
-			Work:  work,
-		}
-		if rng.Bool(s.AdaptiveFraction) {
-			// Malleable: can shrink to a quarter of the request. A
-			// 1-processor request cannot shrink, so widen it first.
-			if pe == 1 && s.MaxPE >= 2 {
-				pe = 2
-				c.MaxPE = pe
-			}
-			min := pe / 4
-			if min < 1 {
-				min = 1
-			}
-			c.MinPE = min
-			c.EffMin = 0.95
-			c.EffMax = rng.Range(0.6, 0.9)
-		}
-		if rng.Bool(s.PhasedFraction) && c.MaxPE >= 4 {
-			// Two phases (§2.1): a wide compute phase (most of the
-			// work) and a narrow reduction phase capped at a quarter of
-			// the request.
-			wideWork := work * rng.Range(0.6, 0.9)
-			narrowMax := c.MaxPE / 4
-			if narrowMax < c.MinPE {
-				narrowMax = c.MinPE
-			}
-			c.Phases = []qos.Phase{
-				{Name: "compute", Work: wideWork, MinPE: c.MinPE, MaxPE: c.MaxPE,
-					EffMin: c.EffMin, EffMax: c.EffMax},
-				{Name: "reduce", Work: work - wideWork, MinPE: c.MinPE, MaxPE: narrowMax},
-			}
-		}
-		if rng.Bool(s.DeadlineFraction) {
-			best := c.ExecTime(c.MaxPE, 1.0)
-			soft := best * rng.Range(s.DeadlineTightness, 2*s.DeadlineTightness)
-			value := s.ValuePerCPUSecond * c.CPUSeconds(c.MaxPE, 1.0)
-			c.Payoff = qos.WithDeadline(value, soft, 2*soft, value*0.5)
-		}
 		tr.Items = append(tr.Items, Item{
 			ID:       fmt.Sprintf("job-%06d", i),
 			SubmitAt: now,
 			User:     fmt.Sprintf("user-%d", i%7),
-			Contract: c,
+			Contract: Sample(rng, s, i),
 		})
 	}
 	return tr, nil
+}
+
+// Sample draws one job contract from the spec's shape distributions
+// (work, request size, malleability, phases, deadlines) using the
+// caller's RNG stream; i selects the application round-robin. The
+// arrival-process fields of the spec are ignored, so scenario traffic
+// generators can layer their own arrival clocks over the same job model.
+// The caller is responsible for having validated the shape
+// (Spec.ValidateShape).
+func Sample(rng *sim.RNG, s Spec, i int) *qos.Contract {
+	apps := s.Apps
+	if len(apps) == 0 {
+		apps = []string{"synth"}
+	}
+	work := rng.LogUniform(s.MinWork, s.MaxWork)
+
+	// Power-of-two-biased request size.
+	maxK := 0
+	for 1<<(maxK+1) <= s.MaxPE {
+		maxK++
+	}
+	pe := 1 << rng.Intn(maxK+1)
+	if pe > s.MaxPE {
+		pe = s.MaxPE
+	}
+	c := &qos.Contract{
+		App:   apps[i%len(apps)],
+		MinPE: pe,
+		MaxPE: pe,
+		Work:  work,
+	}
+	if rng.Bool(s.AdaptiveFraction) {
+		// Malleable: can shrink to a quarter of the request. A
+		// 1-processor request cannot shrink, so widen it first.
+		if pe == 1 && s.MaxPE >= 2 {
+			pe = 2
+			c.MaxPE = pe
+		}
+		min := pe / 4
+		if min < 1 {
+			min = 1
+		}
+		c.MinPE = min
+		c.EffMin = 0.95
+		c.EffMax = rng.Range(0.6, 0.9)
+	}
+	if rng.Bool(s.PhasedFraction) && c.MaxPE >= 4 {
+		// Two phases (§2.1): a wide compute phase (most of the
+		// work) and a narrow reduction phase capped at a quarter of
+		// the request.
+		wideWork := work * rng.Range(0.6, 0.9)
+		narrowMax := c.MaxPE / 4
+		if narrowMax < c.MinPE {
+			narrowMax = c.MinPE
+		}
+		c.Phases = []qos.Phase{
+			{Name: "compute", Work: wideWork, MinPE: c.MinPE, MaxPE: c.MaxPE,
+				EffMin: c.EffMin, EffMax: c.EffMax},
+			{Name: "reduce", Work: work - wideWork, MinPE: c.MinPE, MaxPE: narrowMax},
+		}
+	}
+	if rng.Bool(s.DeadlineFraction) {
+		best := c.ExecTime(c.MaxPE, 1.0)
+		soft := best * rng.Range(s.DeadlineTightness, 2*s.DeadlineTightness)
+		value := s.ValuePerCPUSecond * c.CPUSeconds(c.MaxPE, 1.0)
+		c.Payoff = qos.WithDeadline(value, soft, 2*soft, value*0.5)
+	}
+	return c
 }
 
 // Save writes the trace as JSON.

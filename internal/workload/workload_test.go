@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -105,6 +106,53 @@ func TestValidateRejects(t *testing.T) {
 		if _, err := Generate(s); err == nil {
 			t.Errorf("bad spec %d accepted", i)
 		}
+	}
+}
+
+// TestValidateTypedErrors pins each invalid corner to its sentinel so
+// callers can classify failures with errors.Is instead of string
+// matching. Jobs == 0 is included: a zero-job spec used to slip through
+// and generate a degenerate empty trace.
+func TestValidateTypedErrors(t *testing.T) {
+	valid := Spec{Jobs: 1, MeanInterarrival: 1, MinWork: 1, MaxWork: 2, MaxPE: 1}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want error
+	}{
+		{"zero jobs", func(s *Spec) { s.Jobs = 0 }, ErrNonPositiveJobs},
+		{"negative jobs", func(s *Spec) { s.Jobs = -3 }, ErrNonPositiveJobs},
+		{"zero interarrival", func(s *Spec) { s.MeanInterarrival = 0 }, ErrNonPositiveInterarrival},
+		{"negative interarrival", func(s *Spec) { s.MeanInterarrival = -1 }, ErrNonPositiveInterarrival},
+		{"zero min work", func(s *Spec) { s.MinWork = 0 }, ErrBadWorkRange},
+		{"min above max", func(s *Spec) { s.MinWork, s.MaxWork = 5, 2 }, ErrBadWorkRange},
+		{"zero max pe", func(s *Spec) { s.MaxPE = 0 }, ErrBadMaxPE},
+		{"adaptive above one", func(s *Spec) { s.AdaptiveFraction = 1.5 }, ErrBadFraction},
+		{"negative deadline frac", func(s *Spec) { s.DeadlineFraction = -0.1 }, ErrBadFraction},
+		{"phased above one", func(s *Spec) { s.PhasedFraction = 2 }, ErrBadFraction},
+		{"loose tightness", func(s *Spec) { s.DeadlineFraction, s.DeadlineTightness = 0.5, 0.9 }, ErrBadTightness},
+	}
+	for _, tc := range cases {
+		s := valid
+		tc.mut(&s)
+		err := s.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is %v", tc.name, err, tc.want)
+		}
+		if _, gerr := Generate(s); gerr == nil {
+			t.Errorf("%s: Generate accepted the invalid spec", tc.name)
+		}
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	// ValidateShape ignores the arrival fields: the scenario engine
+	// validates shape-only mixes whose arrivals come from its traffic
+	// processes.
+	shapeOnly := valid
+	shapeOnly.Jobs, shapeOnly.MeanInterarrival = 0, 0
+	if err := shapeOnly.ValidateShape(); err != nil {
+		t.Fatalf("ValidateShape rejected arrival-free spec: %v", err)
 	}
 }
 

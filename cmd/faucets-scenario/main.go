@@ -10,31 +10,51 @@
 //	faucets-scenario -scenario examples/scenarios/flash-crowd.json -backend grid
 //	faucets-scenario -scenario examples/scenarios/sustained-soak.json \
 //	    -backend grid -out report.json -baseline SCENARIO_BASELINE.json
+//	faucets-scenario -scenario examples/scenarios/flash-crowd.json \
+//	    -mechanisms all -compare-out mechanisms.txt
+//
+// The -mechanisms flag is the head-to-head matrix mode: the same trace
+// runs once per market mechanism (first-price, posted-price, vickrey)
+// and a comparison table of placements, revenue, utilization, and
+// deadline-miss rate is printed (and written to -compare-out). The
+// baseline file may be a single report (legacy) or a keyed set of
+// reports ({"reports": {"<scenario>/<backend>/<mechanism>": ...}});
+// each run gates only against its own entry. -exact additionally
+// requires the run to reproduce its baseline entry byte-for-byte — the
+// gridsim determinism gate CI pins first-price with.
 //
 // Exit status is non-zero when the run fails, the baseline gate trips,
 // or the scenario's SLO block is violated.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"faucets/internal/qos"
 	"faucets/internal/scenario"
 )
 
 func main() {
 	var (
-		path      = flag.String("scenario", "", "scenario spec JSON (required)")
-		backend   = flag.String("backend", "gridsim", "executor: gridsim, grid, or both")
-		out       = flag.String("out", "", "write the ScenarioReport JSON here (with -backend both, the backend name is inserted before the extension)")
-		baseline  = flag.String("baseline", "", "gate against this committed ScenarioReport")
-		ttcTol    = flag.Float64("ttc-tolerance", 1.0, "allowed relative p99 time-to-contract increase over baseline (1.0 = 2x)")
-		missSlack = flag.Float64("miss-slack", 0.05, "allowed absolute deadline-miss-rate increase over baseline")
-		seed      = flag.Uint64("seed", 0, "override the scenario seed (0 keeps the spec's)")
-		duration  = flag.Float64("duration", 0, "override the scenario duration in virtual seconds (0 keeps the spec's)")
+		path       = flag.String("scenario", "", "scenario spec JSON (required)")
+		backend    = flag.String("backend", "gridsim", "executor: gridsim, grid, or both")
+		out        = flag.String("out", "", "write the ScenarioReport JSON here (with multiple backends or mechanisms, their names are inserted before the extension)")
+		baseline   = flag.String("baseline", "", "gate against this committed baseline (single report or keyed set)")
+		ttcTol     = flag.Float64("ttc-tolerance", 1.0, "allowed relative p99 time-to-contract increase over baseline (1.0 = 2x)")
+		missSlack  = flag.Float64("miss-slack", 0.05, "allowed absolute deadline-miss-rate increase over baseline")
+		seed       = flag.Uint64("seed", 0, "override the scenario seed (0 keeps the spec's)")
+		duration   = flag.Float64("duration", 0, "override the scenario duration in virtual seconds (0 keeps the spec's)")
+		mechanism  = flag.String("mechanism", "", "override the scenario's market mechanism: first-price, posted-price, or vickrey")
+		mechanisms = flag.String("mechanisms", "", "matrix mode: comma-separated mechanism list, or \"all\" — run once per mechanism and print a head-to-head table")
+		compareOut = flag.String("compare-out", "", "write the mechanism comparison table here (matrix mode)")
+		exact      = flag.Bool("exact", false, "require each report to be byte-identical to its baseline entry (gridsim determinism gate)")
+		updateBase = flag.String("update-baseline", "", "write the run's report(s) into this baseline set file (created if missing; legacy single-report files are upgraded in place)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -62,56 +82,115 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown backend %q (want gridsim, grid, or both)", *backend))
 	}
+	mechList, err := mechanismList(*mechanism, *mechanisms, spec.Mechanism)
+	if err != nil {
+		fatal(err)
+	}
 
-	failed := false
-	for _, b := range backends {
-		var rep *scenario.ScenarioReport
-		var err error
-		switch b {
-		case "gridsim":
-			rep, err = scenario.RunSim(spec)
-		case "grid":
-			rep, err = scenario.RunGrid(spec)
-		}
-		if err != nil {
+	var baseSet *scenario.BaselineSet
+	if *baseline != "" {
+		if baseSet, err = scenario.LoadBaselineSet(*baseline); err != nil {
 			fatal(err)
 		}
-		summarize(rep)
-		if *out != "" {
-			dest := *out
-			if len(backends) > 1 {
-				ext := filepath.Ext(dest)
-				dest = strings.TrimSuffix(dest, ext) + "." + b + ext
+	}
+
+	failed := false
+	matrix := map[string][]*scenario.ScenarioReport{} // backend -> per-mechanism reports
+	for _, b := range backends {
+		for _, m := range mechList {
+			spec.Mechanism = m
+			var rep *scenario.ScenarioReport
+			var err error
+			switch b {
+			case "gridsim":
+				rep, err = scenario.RunSim(spec)
+			case "grid":
+				rep, err = scenario.RunGrid(spec)
 			}
-			if err := rep.WriteJSON(dest); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("report written to %s\n", dest)
-		}
-		if err := rep.CheckSLO(spec.SLO); err != nil {
-			fmt.Fprintf(os.Stderr, "faucets-scenario: %v\n", err)
-			failed = true
-		}
-		if *baseline != "" {
-			base, err := scenario.LoadReport(*baseline)
 			if err != nil {
 				fatal(err)
 			}
-			if base.Backend != rep.Backend {
-				// A gridsim dry run is never gated against a grid
-				// baseline (different units); only matching backends
-				// compare.
-				continue
+			summarize(rep)
+			matrix[b] = append(matrix[b], rep)
+			if *out != "" {
+				dest := *out
+				ext := filepath.Ext(dest)
+				stem := strings.TrimSuffix(dest, ext)
+				if len(backends) > 1 {
+					stem += "." + b
+				}
+				if len(mechList) > 1 {
+					stem += "." + rep.Mechanism
+				}
+				dest = stem + ext
+				if err := rep.WriteJSON(dest); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("report written to %s\n", dest)
 			}
-			gate := scenario.GateOpts{TTCTolerance: *ttcTol, MissRateSlack: *missSlack}
-			if err := scenario.Compare(base, rep, gate); err != nil {
-				fmt.Fprintf(os.Stderr, "faucets-scenario: gate: %v\n", err)
+			if err := rep.CheckSLO(spec.SLO); err != nil {
+				fmt.Fprintf(os.Stderr, "faucets-scenario: %v\n", err)
 				failed = true
-			} else {
+			}
+			if baseSet != nil {
+				// Only a baseline pinned for this exact
+				// scenario/backend/mechanism triple gates the run; a
+				// gridsim dry run is never judged against a grid
+				// baseline (different units), nor vickrey against
+				// first-price economics.
+				base := baseSet.Lookup(rep.Scenario, rep.Backend, rep.Mechanism)
+				if base == nil {
+					continue
+				}
+				gate := scenario.GateOpts{TTCTolerance: *ttcTol, MissRateSlack: *missSlack}
+				if err := scenario.Compare(base, rep, gate); err != nil {
+					fmt.Fprintf(os.Stderr, "faucets-scenario: gate: %v\n", err)
+					failed = true
+					continue
+				}
+				if *exact && !sameReport(base, rep) {
+					fmt.Fprintf(os.Stderr, "faucets-scenario: gate: %s/%s/%s report is not byte-identical to baseline %s\n",
+						rep.Scenario, rep.Backend, rep.Mechanism, *baseline)
+					failed = true
+					continue
+				}
 				fmt.Printf("gate: ok vs %s (p99 TTC %.3f <= %.3f x %.2f; miss rate %.4f <= %.4f + %.2f)\n",
 					*baseline, rep.TTC.P99, base.TTC.P99, 1+*ttcTol,
 					rep.DeadlineMissRate, base.DeadlineMissRate, *missSlack)
 			}
+		}
+	}
+
+	if *updateBase != "" {
+		set := &scenario.BaselineSet{}
+		if _, err := os.Stat(*updateBase); err == nil {
+			if set, err = scenario.LoadBaselineSet(*updateBase); err != nil {
+				fatal(err)
+			}
+		}
+		for _, reps := range matrix {
+			for _, rep := range reps {
+				set.Put(rep)
+			}
+		}
+		if err := set.WriteJSON(*updateBase); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline set %s updated\n", *updateBase)
+	}
+
+	if len(mechList) > 1 {
+		var table strings.Builder
+		for _, b := range backends {
+			fmt.Fprintf(&table, "mechanism matrix: %s [%s] seed=%d\n", spec.Name, b, spec.Seed)
+			table.WriteString(scenario.FormatComparison(matrix[b]))
+		}
+		fmt.Print(table.String())
+		if *compareOut != "" {
+			if err := os.WriteFile(*compareOut, []byte(table.String()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("comparison written to %s\n", *compareOut)
 		}
 	}
 	if failed {
@@ -119,12 +198,50 @@ func main() {
 	}
 }
 
+// mechanismList resolves the -mechanism/-mechanisms flags into the runs
+// to make. With neither flag the spec's own mechanism (possibly empty =
+// first-price) runs once.
+func mechanismList(single, list, specDefault string) ([]string, error) {
+	if single != "" && list != "" {
+		return nil, fmt.Errorf("-mechanism and -mechanisms are mutually exclusive")
+	}
+	switch {
+	case list == "all":
+		return []string{qos.MechanismFirstPrice, qos.MechanismPostedPrice, qos.MechanismVickrey}, nil
+	case list != "":
+		var out []string
+		for _, m := range strings.Split(list, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" || !qos.ValidMechanism(m) {
+				return nil, fmt.Errorf("-mechanisms: unknown mechanism %q", m)
+			}
+			out = append(out, m)
+		}
+		return out, nil
+	case single != "":
+		if !qos.ValidMechanism(single) {
+			return nil, fmt.Errorf("-mechanism: unknown mechanism %q", single)
+		}
+		return []string{single}, nil
+	}
+	return []string{specDefault}, nil
+}
+
+// sameReport is the determinism gate: both reports marshal to identical
+// JSON. Loading the baseline through the struct first makes the check
+// formatting-independent without weakening it — every field compares.
+func sameReport(a, b *scenario.ScenarioReport) bool {
+	ab, err1 := json.Marshal(a)
+	bb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ab, bb)
+}
+
 func summarize(r *scenario.ScenarioReport) {
 	unit := "virtual s"
 	if r.Backend == "grid" {
 		unit = "wall ms"
 	}
-	fmt.Printf("scenario %s [%s] seed=%d servers=%d\n", r.Scenario, r.Backend, r.Seed, r.Servers)
+	fmt.Printf("scenario %s [%s/%s] seed=%d servers=%d\n", r.Scenario, r.Backend, r.Mechanism, r.Seed, r.Servers)
 	fmt.Printf("  jobs %d submitted %d placed %d rejected %d shed %d finished %d settled %d\n",
 		r.Jobs, r.Submitted, r.Placed, r.Rejected, r.Shed, r.Finished, r.Settled)
 	fmt.Printf("  ttc (%s)        p50=%.3f p95=%.3f p99=%.3f max=%.3f n=%d\n",

@@ -24,6 +24,7 @@ import (
 	"faucets/internal/central"
 	"faucets/internal/db"
 	"faucets/internal/protocol"
+	"faucets/internal/qos"
 	"faucets/internal/telemetry"
 )
 
@@ -50,10 +51,14 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-open probing (0 = library default)")
 	brownoutFsync := flag.Duration("brownout-fsync", 0, "WAL fsync latency EWMA above which the server enters brownout mode (0 = off)")
 	brownoutQueue := flag.Int("brownout-queue", 0, "WAL group-commit queue depth above which the server enters brownout mode (0 = off)")
+	mechanism := flag.String("mechanism", "", "grid default market mechanism advertised to clients at login: first-price, posted-price, or vickrey (empty = first-price)")
 	flag.Parse()
 
 	if _, err := protocol.ParseWireCodec(*wireCodec); err != nil {
 		log.Fatalf("-wire-codec: %v", err)
+	}
+	if !qos.ValidMechanism(*mechanism) {
+		log.Fatalf("-mechanism: unknown mechanism %q (want first-price, posted-price, or vickrey)", *mechanism)
 	}
 
 	var m accounting.Mode
@@ -104,6 +109,7 @@ func main() {
 	srv.BreakerCooldown = *breakerCooldown
 	srv.BrownoutFsync = *brownoutFsync
 	srv.BrownoutQueue = *brownoutQueue
+	srv.DefaultMechanism = *mechanism
 	if *peers != "" {
 		var list []string
 		for _, p := range strings.Split(*peers, ",") {

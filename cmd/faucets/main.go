@@ -41,12 +41,16 @@ func main() {
 	breakerThreshold := flag.Float64("breaker-threshold", 0, "circuit-breaker suspicion score that opens the breaker on a sick daemon, skipping it during bid solicitation (0 = breakers off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-open probing (0 = library default)")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0, "latency quantile after which outstanding bid requests are hedged with a duplicate, first answer wins (0 = hedging off; try 0.9)")
+	mechanism := flag.String("mechanism", "", "market mechanism for submitted jobs: first-price, posted-price, or vickrey (empty = the grid default advertised at login)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: faucets [flags] list|apps|credits|submit|status|watch")
 	}
 	if _, err := protocol.ParseWireCodec(*wireCodec); err != nil {
 		log.Fatalf("-wire-codec: %v", err)
+	}
+	if !qos.ValidMechanism(*mechanism) {
+		log.Fatalf("-mechanism: unknown mechanism %q (want first-price, posted-price, or vickrey)", *mechanism)
 	}
 	cl, err := client.LoginTimeout(*centralAddr, *user, *pass, *rpcTimeout)
 	if err != nil {
@@ -58,6 +62,7 @@ func main() {
 	cl.BidTimeout = *bidTimeout
 	cl.WireCodec = *wireCodec
 	cl.HedgeQuantile = *hedgeQuantile
+	cl.Mechanism = *mechanism
 	if *breakerThreshold > 0 {
 		cl.Breakers = health.NewSet(health.Options{
 			Threshold: *breakerThreshold,

@@ -158,3 +158,17 @@ func TestConcurrentSettlement(t *testing.T) {
 		t.Fatalf("remote=%v", got)
 	}
 }
+
+func TestModeAndCreditsAccessors(t *testing.T) {
+	a := New(Barter, db.New())
+	if a.Mode() != Barter {
+		t.Fatalf("mode=%v", a.Mode())
+	}
+	a.SetCreditFloor(100) // let clusterB run a tab
+	if err := a.Settle("j1", "u", "clusterB", "clusterA", 12); err != nil {
+		t.Fatal(err)
+	}
+	if a.Credits("clusterA") == 0 {
+		t.Fatal("credits accessor read nothing")
+	}
+}

@@ -225,6 +225,48 @@ func (h *History) Multiplier(now float64, c *qos.Contract, st ServerState) (floa
 	return m, true
 }
 
+// PostedMultiplier is the commodity-market price schedule: a server
+// posts list price when idle and up to double when saturated,
+// 1 + used/total. Unlike the auction strategies it is a pure function
+// of the server's published weather — no contract round trip — so a
+// buyer can price any server from the directory listing alone.
+func PostedMultiplier(usedPE, numPE int) float64 {
+	if numPE <= 0 {
+		return 1
+	}
+	u := float64(usedPE) / float64(numPE)
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	return 1 + u
+}
+
+// PostedBid assembles the posted-price offer a server's published state
+// implies for a contract: PostedMultiplier over the published weather,
+// priced by the standard schedule. CanRun false (the static feasibility
+// screen) declines. A zero EstimatedCompletion is filled with
+// now + ExecTime at MaxPE — the optimistic quote a directory listing
+// supports. Posted offers carry no expiry: the post stands until the
+// server's published price changes.
+func PostedBid(server string, now float64, c *qos.Contract, st ServerState) (Bid, bool) {
+	if !st.CanRun {
+		return Bid{}, false
+	}
+	m := PostedMultiplier(st.UsedPE, st.NumPE)
+	est := st.EstimatedCompletion
+	if est == 0 {
+		est = now + c.ExecTime(c.MaxPE, st.Speed)
+	}
+	return Bid{
+		Server:        server,
+		Price:         Price(c, st, m),
+		Multiplier:    m,
+		EstCompletion: est,
+	}, true
+}
+
 // Make assembles a full Bid from a generator's multiplier, or reports
 // that the server declines. Validity bounds the offer to now+validFor.
 func Make(g Generator, server string, now float64, c *qos.Contract, st ServerState, validFor float64) (Bid, bool) {

@@ -1,0 +1,119 @@
+package bidding
+
+import (
+	"math"
+	"testing"
+
+	"faucets/internal/qos"
+)
+
+// limitedHistory honours the requested window, so a zero window reads
+// an empty market even when history exists.
+type limitedHistory struct{ recs []HistoryRecord }
+
+func (h limitedHistory) SimilarContracts(now float64, c *qos.Contract, limit int) []HistoryRecord {
+	if limit < len(h.recs) {
+		return h.recs[:limit]
+	}
+	return h.recs
+}
+
+// A zero-window history strategy never sees a record and must fall back
+// instead of averaging an empty slice to NaN.
+func TestHistoryZeroWindowFallsBack(t *testing.T) {
+	h := NewHistory(limitedHistory{recs: []HistoryRecord{{Multiplier: 3.0}}})
+	h.Window = 0
+	m, ok := h.Multiplier(0, contract(), idle())
+	if !ok || math.IsNaN(m) {
+		t.Fatalf("m=%v ok=%v", m, ok)
+	}
+	want, _ := h.Fallback.Multiplier(0, contract(), idle())
+	if m != want {
+		t.Fatalf("zero window bid %v, want fallback %v", m, want)
+	}
+}
+
+// A contract with no deadline and no queued work is a zero-length
+// forecast window: the forecast must degrade to instantaneous
+// utilization, not divide by zero.
+func TestUtilizationZeroWindowContract(t *testing.T) {
+	c := &qos.Contract{App: "x", MinPE: 1, MaxPE: 4, Work: 100} // Deadline 0
+	st := idle()
+	st.UsedPE = 32 // half busy, nothing queued
+	u := NewUtilization()
+	m, ok := u.Multiplier(0, c, st)
+	if !ok || math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Fatalf("m=%v ok=%v", m, ok)
+	}
+	lo, hi := u.K*(1-u.Alpha), u.K*(1+u.Beta)
+	want := lo + 0.5*(hi-lo)
+	if math.Abs(m-want) > 1e-9 {
+		t.Fatalf("m=%v, want %v (interpolated at util 0.5)", m, want)
+	}
+}
+
+func TestPostedMultiplierSchedule(t *testing.T) {
+	cases := []struct {
+		used, num int
+		want      float64
+	}{
+		{0, 64, 1.0},   // idle: list price
+		{32, 64, 1.5},  // half busy
+		{64, 64, 2.0},  // saturated: double
+		{128, 64, 2.0}, // oversubscribed clamps at double
+		{-1, 64, 1.0},  // negative weather clamps at list
+		{10, 0, 1.0},   // unknown machine size: list price
+	}
+	for _, tc := range cases {
+		if got := PostedMultiplier(tc.used, tc.num); got != tc.want {
+			t.Errorf("PostedMultiplier(%d, %d) = %v, want %v", tc.used, tc.num, got, tc.want)
+		}
+	}
+}
+
+func TestPostedBid(t *testing.T) {
+	c := contract()
+	st := idle()
+	st.UsedPE = 32
+	b, ok := PostedBid("s", 100, c, st)
+	if !ok {
+		t.Fatal("feasible post declined")
+	}
+	if b.Server != "s" || b.Multiplier != 1.5 {
+		t.Fatalf("bid=%+v", b)
+	}
+	if want := Price(c, st, 1.5); b.Price != want {
+		t.Fatalf("price=%v, want %v", b.Price, want)
+	}
+	// The scheduler's estimate is used when present...
+	if b.EstCompletion != st.EstimatedCompletion {
+		t.Fatalf("est=%v, want scheduler's %v", b.EstCompletion, st.EstimatedCompletion)
+	}
+	// ...and the optimistic now+ExecTime quote fills in otherwise.
+	st.EstimatedCompletion = 0
+	b, _ = PostedBid("s", 100, c, st)
+	if want := 100 + c.ExecTime(c.MaxPE, st.Speed); math.Abs(b.EstCompletion-want) > 1e-9 {
+		t.Fatalf("est=%v, want %v", b.EstCompletion, want)
+	}
+	// Posts carry no expiry: they stand until the published price moves.
+	if b.ExpiresAt != 0 {
+		t.Fatalf("posted bid expires at %v, want 0", b.ExpiresAt)
+	}
+	st.CanRun = false
+	if _, ok := PostedBid("s", 100, c, st); ok {
+		t.Fatal("infeasible post accepted")
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	for want, g := range map[string]Generator{
+		"baseline":    Baseline{},
+		"utilization": NewUtilization(),
+		"history":     NewHistory(limitedHistory{}),
+		"weather":     NewWeather(nil),
+	} {
+		if g.Name() != want {
+			t.Fatalf("Name() = %q, want %q", g.Name(), want)
+		}
+	}
+}

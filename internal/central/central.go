@@ -148,6 +148,12 @@ type Server struct {
 	// negotiate the binary codec, "json" pins JSON (empty = auto).
 	WireCodec string
 
+	// DefaultMechanism is the grid's default market mechanism, one of
+	// the qos.Mechanism* names. It is advertised to clients at login
+	// (AuthOK.Mechanism); clients without an explicit -mechanism adopt
+	// it. Empty means first-price.
+	DefaultMechanism string
+
 	// MaxInflight caps concurrently admitted auction and settlement
 	// requests. Past the cap, admission control sheds the request with a
 	// retryable OVERLOADED error instead of queueing it without bound;
@@ -360,7 +366,11 @@ func (s *Server) Servers(c *qos.Contract) []protocol.ServerInfo {
 		if c != nil && !matches(e.info, c) {
 			continue
 		}
-		out = append(out, e.info)
+		info := e.info
+		// Publish the latest polled weather so posted-price buyers can
+		// derive each server's commodity post from the listing alone.
+		info.UsedPE = e.dyn.UsedPE
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
@@ -787,7 +797,7 @@ func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 		if err != nil {
 			return errAuth
 		}
-		return protocol.WriteFrame(conn, protocol.TypeAuthOK, protocol.AuthOK{Token: token})
+		return protocol.WriteFrame(conn, protocol.TypeAuthOK, protocol.AuthOK{Token: token, Mechanism: s.DefaultMechanism})
 
 	case protocol.TypeListServersReq:
 		var req protocol.ListServersReq

@@ -1,0 +1,37 @@
+package central
+
+import (
+	"testing"
+	"time"
+
+	"faucets/internal/accounting"
+)
+
+// The directory listing must republish each daemon's polled busy-PE
+// count — the weather a posted-price buyer prices servers from with no
+// extra round trip — and the background polling loop must keep it
+// fresh on its own.
+func TestDirectoryPublishesUsedPEWeather(t *testing.T) {
+	s := New(accounting.Dollars)
+	defer s.Close()
+	good := info("good", 8, 512)
+	good.Addr = pollable(t, false) // PollOK reports UsedPE 7
+	if err := s.RegisterDaemon(good); err != nil {
+		t.Fatal(err)
+	}
+	if live := s.Servers(nil); len(live) != 1 || live[0].UsedPE != 0 {
+		t.Fatalf("before any poll: %+v", live)
+	}
+	s.StartPolling(2 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		live := s.Servers(nil)
+		if len(live) == 1 && live[0].UsedPE == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("polled weather never reached the directory: %+v", live)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -76,6 +76,14 @@ type Client struct {
 	// requests are re-issued and the first response per daemon wins.
 	// Zero disables hedging.
 	HedgeQuantile float64
+	// Mechanism selects the market mechanism for contracts that do not
+	// carry one (a qos.Mechanism* name). Empty adopts the grid default
+	// the Central Server advertised at login, falling back to the
+	// first-price auction.
+	Mechanism string
+	// GridMechanism is the default mechanism the Central Server
+	// advertised at login (AuthOK.Mechanism); filled by Login.
+	GridMechanism string
 
 	fanoutOnce sync.Once
 	fanoutHist *telemetry.Histogram
@@ -184,7 +192,22 @@ func LoginTimeout(centralAddr, user, password string, rpcTimeout time.Duration) 
 		return nil, fmt.Errorf("client: login: %w", err)
 	}
 	c.Token = ok.Token
+	c.GridMechanism = ok.Mechanism
 	return c, nil
+}
+
+// mechanismFor resolves the market mechanism used to place a contract:
+// the contract's own Mechanism wins, then the client's configured
+// default, then the grid default advertised at login, then first-price.
+func (c *Client) mechanismFor(contract *qos.Contract) (market.Mechanism, error) {
+	name := contract.Mechanism
+	if name == "" {
+		name = c.Mechanism
+	}
+	if name == "" {
+		name = c.GridMechanism
+	}
+	return market.ForName(name)
 }
 
 // callRetry performs one exchange over the shared connection pool with
@@ -285,6 +308,34 @@ func (p *fdPort) RequestBidBatch(_ float64, cs []*qos.Contract) []market.BatchBi
 	return out
 }
 
+// Post implements market.PostPort: the daemon's commodity post is
+// derived entirely from its directory listing — static spec plus the
+// UsedPE weather the Central Server publishes from its liveness polls —
+// so reading a post costs no round trip at all. Feasibility here is the
+// static screen only (size, memory, exported application); the daemon
+// still arbitrates at commit time, which is where the posted-price
+// mechanism's admission risk lives.
+func (p *fdPort) Post(now float64, contract *qos.Contract) (bidding.Bid, bool) {
+	spec := p.info.Spec
+	ok := spec.NumPE >= contract.MinPE && contract.FitsMemory(min(contract.MaxPE, spec.NumPE), spec.MemPerPE)
+	if ok && len(p.info.Apps) > 0 {
+		ok = false
+		for _, a := range p.info.Apps {
+			if a == contract.App {
+				ok = true
+				break
+			}
+		}
+	}
+	return bidding.PostedBid(spec.Name, now, contract, bidding.ServerState{
+		NumPE:    spec.NumPE,
+		UsedPE:   p.info.UsedPE,
+		Speed:    spec.Speed,
+		CostRate: spec.CostRate,
+		CanRun:   ok,
+	})
+}
+
 // Commit rides the pool too: the daemon's commit handler is idempotent
 // per (job, user), so a redial-and-resend after a broken connection is
 // safe.
@@ -335,6 +386,10 @@ func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placemen
 	if len(servers) == 0 {
 		return nil, ErrNoServers
 	}
+	mech, err := c.mechanismFor(contract)
+	if err != nil {
+		return nil, err
+	}
 	ports := make([]market.ServerPort, len(servers))
 	byName := make(map[string]protocol.ServerInfo, len(servers))
 	for i, info := range servers {
@@ -343,18 +398,18 @@ func (c *Client) Place(contract *qos.Contract, crit market.Criterion) (*Placemen
 	}
 	jobID := NewJobID()
 	c.Tracer.Record(jobID, telemetry.SpanSubmit, fmt.Sprintf("%s by %s: %.0f work for %d servers", contract.App, c.User, contract.Work, len(servers)))
-	// Solicit and commit separately (rather than market.Award) so the
+	// Solicit and commit separately (rather than market.AwardWith) so the
 	// winning bid is traced before the commit round records the contract
 	// span on the daemon — keeping the chain in causal order.
 	solStart := time.Now()
-	bids := market.SolicitWith(0, ports, contract, crit, c.solicitOpts())
+	bids := mech.Solicit(0, ports, contract, crit, c.solicitOpts())
 	if h := c.fanout(); h != nil {
 		h.Observe(time.Since(solStart).Seconds())
 	}
 	if len(bids) > 0 {
 		c.Tracer.Record(jobID, telemetry.SpanBid, fmt.Sprintf("best of %d bids: %s at price %.2f", len(bids), bids[0].Server, bids[0].Price))
 	}
-	res, err := market.CommitRanked(0, ports, bids, jobID, false)
+	res, err := market.CommitPriced(0, ports, bids, jobID, false, mech)
 	if err != nil {
 		return nil, fmt.Errorf("client: award: %w", err)
 	}
@@ -421,19 +476,51 @@ func (c *Client) PlaceBatch(contracts []*qos.Contract, crit market.Criterion) ([
 		ports[i] = &fdPort{c: c, info: info}
 		byName[info.Spec.Name] = info
 	}
+	// Resolve each contract's mechanism up front: auction-style contracts
+	// share one batched fan-out; posted-price contracts never leave the
+	// client (their offers are read from the directory listing), so they
+	// are excluded from the wire batch entirely.
+	mechs := make([]market.Mechanism, len(valid))
+	auction := make([]*qos.Contract, 0, len(valid))
+	aIdx := make([]int, 0, len(valid))
+	for k, ct := range valid {
+		m, err := c.mechanismFor(ct)
+		if err != nil {
+			out[idx[k]].Err = err
+			continue
+		}
+		mechs[k] = m
+		if _, posted := m.(market.PostedPrice); !posted {
+			auction = append(auction, ct)
+			aIdx = append(aIdx, k)
+		}
+	}
 	solStart := time.Now()
-	ranked := market.SolicitBatch(0, ports, valid, crit, c.solicitOpts())
+	ranked := make([][]bidding.Bid, len(valid))
+	if len(auction) > 0 {
+		for j, bids := range market.SolicitBatch(0, ports, auction, crit, c.solicitOpts()) {
+			ranked[aIdx[j]] = bids
+		}
+	}
+	for k, m := range mechs {
+		if _, posted := m.(market.PostedPrice); posted {
+			ranked[k] = m.Solicit(0, ports, valid[k], crit, c.solicitOpts())
+		}
+	}
 	if h := c.fanout(); h != nil {
 		h.Observe(time.Since(solStart).Seconds())
 	}
 	for k, bids := range ranked {
+		if mechs[k] == nil {
+			continue // mechanism resolution failed; error already set
+		}
 		i := idx[k]
 		jobID := NewJobID()
 		c.Tracer.Record(jobID, telemetry.SpanSubmit, fmt.Sprintf("%s by %s: %.0f work for %d servers (batch %d/%d)", valid[k].App, c.User, valid[k].Work, len(servers), k+1, len(valid)))
 		if len(bids) > 0 {
 			c.Tracer.Record(jobID, telemetry.SpanBid, fmt.Sprintf("best of %d bids: %s at price %.2f", len(bids), bids[0].Server, bids[0].Price))
 		}
-		res, err := market.CommitRanked(0, ports, bids, jobID, false)
+		res, err := market.CommitPriced(0, ports, bids, jobID, false, mechs[k])
 		if err != nil {
 			out[i].Err = fmt.Errorf("client: award: %w", err)
 			continue

@@ -116,6 +116,10 @@ type Options struct {
 	// HedgeQuantile turns on hedged bid solicitation for clients (the
 	// in-process -hedge-quantile; zero = off).
 	HedgeQuantile float64
+	// Mechanism is the market mechanism clients place jobs under (a
+	// qos.Mechanism* name; empty = first-price). Also advertised by the
+	// Central Server as the grid default (the in-process -mechanism).
+	Mechanism string
 	// BrownoutFsync/BrownoutQueue are the Central Server's brownout
 	// thresholds; setting either starts the brownout monitor (the
 	// in-process -brownout-fsync/-brownout-queue).
@@ -313,6 +317,7 @@ func (g *Grid) newCentral() (*central.Server, error) {
 	fs.BreakerCooldown = g.opts.BreakerCooldown
 	fs.BrownoutFsync = g.opts.BrownoutFsync
 	fs.BrownoutQueue = g.opts.BrownoutQueue
+	fs.DefaultMechanism = g.opts.Mechanism
 	fs.StartBrownoutMonitor(g.opts.BrownoutInterval)
 	return fs, nil
 }
@@ -435,6 +440,7 @@ func (g *Grid) Login(user, password string) (*client.Client, error) {
 	c.RPCTimeout = g.opts.RPCTimeout
 	c.WireCodec = g.opts.WireCodec
 	c.HedgeQuantile = g.opts.HedgeQuantile
+	c.Mechanism = g.opts.Mechanism
 	if g.opts.BreakerThreshold > 0 {
 		c.Breakers = health.NewSet(health.Options{
 			Threshold: g.opts.BreakerThreshold,

@@ -55,6 +55,10 @@ type Config struct {
 	// Criterion is the client-side bid-evaluation rule; defaults to
 	// least cost.
 	Criterion market.Criterion
+	// Mechanism selects the market mechanism for every submission (a
+	// qos.Mechanism* name; empty = first-price). A contract carrying
+	// its own Mechanism field overrides the run default per job.
+	Mechanism string
 	// Mode selects the economic context (§5.5); default Dollars.
 	Mode accounting.Mode
 	// BidValidity is how long a bid stands, in virtual seconds.
@@ -139,6 +143,7 @@ type serverEntity struct {
 // gridRun is the in-flight simulation state.
 type gridRun struct {
 	cfg     Config
+	mech    market.Mechanism
 	eng     *sim.Engine
 	servers []*serverEntity
 	byName  map[string]*serverEntity
@@ -180,6 +185,28 @@ func (s *serverEntity) RequestBid(now float64, c *qos.Contract) (bidding.Bid, bo
 		s.g.metrics.C("messages.bid_reply").Inc()
 	}
 	return b, ok
+}
+
+// Post implements market.PostPort: the server's commodity post, read
+// straight from its published weather with no bid round trip. The
+// static screen mirrors what a directory listing supports (size,
+// memory); the scheduler still arbitrates at commit time, which is the
+// posted-price mechanism's admission risk.
+func (s *serverEntity) Post(now float64, c *qos.Contract) (bidding.Bid, bool) {
+	s.g.metrics.C("messages.post_read").Inc()
+	sp := s.sched.Spec()
+	pe := c.MaxPE
+	if pe > sp.NumPE {
+		pe = sp.NumPE
+	}
+	ok := sp.NumPE >= c.MinPE && c.FitsMemory(pe, sp.MemPerPE)
+	return bidding.PostedBid(s.name, now, c, bidding.ServerState{
+		NumPE:    sp.NumPE,
+		UsedPE:   s.sched.UsedPEs(),
+		Speed:    sp.Speed,
+		CostRate: sp.CostRate,
+		CanRun:   ok,
+	})
 }
 
 // Commit implements market.ServerPort: phase two, the actual admission.
@@ -302,9 +329,14 @@ func runInternal(cfg Config, trace *workload.Trace) (*Result, *gridRun, error) {
 	if cfg.BidValidity <= 0 {
 		cfg.BidValidity = 60
 	}
+	mech, err := market.ForName(cfg.Mechanism)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gridsim: %w", err)
+	}
 	store := db.New()
 	g := &gridRun{
 		cfg:     cfg,
+		mech:    mech,
 		eng:     sim.NewEngine(),
 		byName:  map[string]*serverEntity{},
 		metrics: sim.NewMetrics(),
@@ -545,6 +577,21 @@ func (g *gridRun) submit(now float64, it workload.Item) {
 	home := g.cfg.HomeOf[it.User]
 	g.placing[it.ID] = &placement{j: j, user: it.User, home: home}
 
+	mech := g.mech
+	if name := it.Contract.Mechanism; name != "" {
+		m, err := market.ForName(name)
+		if err != nil {
+			g.finishAward(now, it, j, market.AwardResult{}, err)
+			return
+		}
+		mech = m
+	}
+	// Sim entities run on the engine goroutine and are not safe for the
+	// concurrent fan-out; Concurrency 1 degenerates the auction
+	// mechanisms to the serial walk (posted-price is serial by
+	// construction).
+	serial := market.SolicitOpts{Concurrency: 1}
+
 	candidates := g.eligible(it.User, it.Contract)
 	// Home-cluster preference (§5.5.3): "normally whenever he tries to
 	// submit a job, the system tries to submit the job to the user's
@@ -557,13 +604,11 @@ func (g *gridRun) submit(now float64, it workload.Item) {
 	if g.cfg.HomeFirst && home != "" {
 		if hs, ok := g.byName[home]; ok {
 			ports := []market.ServerPort{hs}
-			// Serial path: sim entities run on the engine goroutine and
-			// are not safe for the concurrent fan-out.
-			bids := market.SolicitSerial(now, ports, it.Contract, g.cfg.Criterion)
+			bids := mech.Solicit(now, ports, it.Contract, g.cfg.Criterion, serial)
 			if len(bids) > 0 {
 				prompt := now + it.Contract.ExecTime(it.Contract.MinPE, hs.sched.Spec().Speed)
 				if bids[0].EstCompletion <= prompt+1e-9 {
-					if res, err := market.CommitRanked(now, ports, bids, it.ID, g.cfg.SinglePhase); err == nil {
+					if res, err := market.CommitPriced(now, ports, bids, it.ID, g.cfg.SinglePhase, mech); err == nil {
 						g.finishAward(now, it, j, res, nil)
 						return
 					}
@@ -575,15 +620,15 @@ func (g *gridRun) submit(now float64, it workload.Item) {
 	for i, s := range candidates {
 		ports[i] = s
 	}
-	bids := market.SolicitSerial(now, ports, it.Contract, g.cfg.Criterion)
+	bids := mech.Solicit(now, ports, it.Contract, g.cfg.Criterion, serial)
 	if g.cfg.CommitDelay <= 0 {
-		res, err := market.CommitRanked(now, ports, bids, it.ID, g.cfg.SinglePhase)
+		res, err := market.CommitPriced(now, ports, bids, it.ID, g.cfg.SinglePhase, mech)
 		g.finishAward(now, it, j, res, err)
 		return
 	}
 	g.eng.After(sim.Duration(g.cfg.CommitDelay), "commit:"+it.ID, func(e *sim.Engine) {
 		t := float64(e.Now())
-		res, err := market.CommitRanked(t, ports, bids, it.ID, g.cfg.SinglePhase)
+		res, err := market.CommitPriced(t, ports, bids, it.ID, g.cfg.SinglePhase, mech)
 		g.finishAward(t, it, j, res, err)
 	})
 }

@@ -471,6 +471,14 @@ type AwardResult struct {
 // the chosen server "may have received a more lucrative job in between"
 // (§5.3).
 func CommitRanked(now float64, servers []ServerPort, bids []bidding.Bid, jobID string, singlePhase bool) (AwardResult, error) {
+	return commitWalk(now, servers, bids, jobID, singlePhase, nil)
+}
+
+// commitWalk is the shared two-phase commit walk. price, when non-nil,
+// maps a rank in the (full, pre-singlePhase) bid list to the clearing
+// price the commit should carry — the mechanism seam. A nil price
+// commits each bid verbatim (first-price behaviour).
+func commitWalk(now float64, servers []ServerPort, bids []bidding.Bid, jobID string, singlePhase bool, price func(i int) float64) (AwardResult, error) {
 	if len(bids) == 0 {
 		return AwardResult{}, ErrNoBids
 	}
@@ -483,7 +491,7 @@ func CommitRanked(now float64, servers []ServerPort, bids []bidding.Bid, jobID s
 	}
 	res := AwardResult{}
 	var lastErr error
-	for _, b := range bids {
+	for i, b := range bids {
 		if b.ExpiresAt > 0 && now > b.ExpiresAt {
 			lastErr = fmt.Errorf("%w: %s", ErrExpired, b.Server)
 			continue
@@ -491,6 +499,9 @@ func CommitRanked(now float64, servers []ServerPort, bids []bidding.Bid, jobID s
 		s, ok := byName[b.Server]
 		if !ok {
 			continue
+		}
+		if price != nil {
+			b.Price = price(i)
 		}
 		res.Attempts++
 		if err := s.Commit(now, jobID, b); err != nil {

@@ -173,7 +173,7 @@ func appendContract(b []byte, c *qos.Contract) []byte {
 		b = appendF64(b, ph.EffMin)
 		b = appendF64(b, ph.EffMax)
 	}
-	return b
+	return appendStr(b, c.Mechanism)
 }
 
 func appendBid(b []byte, bd *bidding.Bid) []byte {
@@ -467,6 +467,7 @@ func (r *breader) contract() *qos.Contract {
 			ph.EffMax = r.f64()
 		}
 	}
+	c.Mechanism = r.str()
 	if r.err != nil {
 		return nil
 	}

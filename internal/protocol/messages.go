@@ -80,8 +80,12 @@ type AuthReq struct {
 }
 
 // AuthOK returns the session token embedded in subsequent requests.
+// Mechanism, when set, advertises the grid's default market mechanism
+// (one of the qos.Mechanism* names); clients without an explicit
+// -mechanism adopt it.
 type AuthOK struct {
-	Token string `json:"token"`
+	Token     string `json:"token"`
+	Mechanism string `json:"mechanism,omitempty"`
 }
 
 // ServerInfo is one entry of the Central Server's directory of Compute
@@ -93,6 +97,10 @@ type ServerInfo struct {
 	// Home is the cluster name for bartering home-cluster affinity
 	// (§5.5.3); equals Spec.Name by default.
 	Home string `json:"home,omitempty"`
+	// UsedPE is the server's busy-processor count from its most recent
+	// liveness poll — the published weather the posted-price commodity
+	// market derives each server's post from, with no extra round trip.
+	UsedPE int `json:"used_pe,omitempty"`
 }
 
 // ListServersReq asks the Central Server for Compute Servers matching a

@@ -60,6 +60,33 @@ type Contract struct {
 	// or components, each with very different requirements"). When
 	// non-empty, Work must equal the sum of phase works.
 	Phases []Phase `json:"phases,omitempty"`
+
+	// Mechanism selects the market mechanism used to place this job:
+	// one of the Mechanism* constants, or empty for the submitting
+	// client's default (itself defaulting to the first-price auction).
+	// Carried on the contract so a single submission stream can mix
+	// mechanisms and so the choice survives the wire round trip.
+	Mechanism string `json:"mechanism,omitempty"`
+}
+
+// Market mechanism names carried in Contract.Mechanism. The first-price
+// sealed-bid auction is the paper's protocol (§5.3); the posted-price
+// commodity market and the second-price (Vickrey) auction come from the
+// Buyya economic-models design space (PAPERS.md).
+const (
+	MechanismFirstPrice  = "first-price"
+	MechanismPostedPrice = "posted-price"
+	MechanismVickrey     = "vickrey"
+)
+
+// ValidMechanism reports whether name is a known mechanism name or the
+// empty default.
+func ValidMechanism(name string) bool {
+	switch name {
+	case "", MechanismFirstPrice, MechanismPostedPrice, MechanismVickrey:
+		return true
+	}
+	return false
 }
 
 // Phase is one component of a multi-phase contract. To be useful a phase
@@ -113,6 +140,7 @@ var (
 	ErrEfficiency = errors.New("qos: efficiency must lie in (0, 1]")
 	ErrDeadline   = errors.New("qos: deadline must be non-negative")
 	ErrPhases     = errors.New("qos: phase works must sum to contract work")
+	ErrMechanism  = errors.New("qos: unknown market mechanism")
 )
 
 // Validate checks the contract for internal consistency.
@@ -136,6 +164,9 @@ func (c *Contract) Validate() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("%w: %v", ErrDeadline, c.Deadline)
+	}
+	if !ValidMechanism(c.Mechanism) {
+		return fmt.Errorf("%w: %q", ErrMechanism, c.Mechanism)
 	}
 	if err := c.Payoff.Validate(); err != nil {
 		return err

@@ -89,6 +89,7 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 		HedgeQuantile:    s.Grid.HedgeQuantile,
 		PoolSize:         s.Grid.PoolSize,
 		WireCodec:        s.Grid.WireCodec,
+		Mechanism:        s.Mechanism,
 	}
 	g, err := grid.Start(clusters, opts)
 	if err != nil {
@@ -262,6 +263,7 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 	r := &ScenarioReport{
 		Scenario:             s.Name,
 		Backend:              "grid",
+		Mechanism:            s.MechanismName(),
 		Seed:                 s.Seed,
 		Servers:              len(machines),
 		Jobs:                 len(trace.Items),

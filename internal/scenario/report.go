@@ -22,8 +22,12 @@ import (
 type ScenarioReport struct {
 	Scenario string `json:"scenario"`
 	Backend  string `json:"backend"` // "gridsim" | "grid"
-	Seed     uint64 `json:"seed"`
-	Servers  int    `json:"servers"`
+	// Mechanism is the market mechanism the run awarded under
+	// (first-price, posted-price, vickrey). Legacy reports omit it;
+	// Compare reads the absence as first-price.
+	Mechanism string `json:"mechanism,omitempty"`
+	Seed      uint64 `json:"seed"`
+	Servers   int    `json:"servers"`
 
 	// Arrival accounting. Submitted counts jobs the driver actually
 	// offered to the market (== Jobs unless the run was cut short);
@@ -174,9 +178,11 @@ func Compare(baseline, current *ScenarioReport, opts GateOpts) error {
 	if baseline == nil || current == nil {
 		return fmt.Errorf("%w: nil report", ErrGateMismatch)
 	}
-	if baseline.Scenario != current.Scenario || baseline.Backend != current.Backend {
-		return fmt.Errorf("%w: baseline %s/%s vs current %s/%s", ErrGateMismatch,
-			baseline.Scenario, baseline.Backend, current.Scenario, current.Backend)
+	if baseline.Scenario != current.Scenario || baseline.Backend != current.Backend ||
+		canonMechanism(baseline.Mechanism) != canonMechanism(current.Mechanism) {
+		return fmt.Errorf("%w: baseline %s/%s/%s vs current %s/%s/%s", ErrGateMismatch,
+			baseline.Scenario, baseline.Backend, canonMechanism(baseline.Mechanism),
+			current.Scenario, current.Backend, canonMechanism(current.Mechanism))
 	}
 	if opts.TTCTolerance > 0 && baseline.TTC.N > 0 && current.TTC.N > 0 {
 		limit := baseline.TTC.P99 * (1 + opts.TTCTolerance)

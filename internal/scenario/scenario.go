@@ -33,6 +33,7 @@ import (
 	"faucets/internal/chaos"
 	"faucets/internal/gridsim"
 	"faucets/internal/machine"
+	"faucets/internal/qos"
 	"faucets/internal/scheduler"
 	"faucets/internal/sim"
 	"faucets/internal/workload"
@@ -60,6 +61,11 @@ type Spec struct {
 	// backend (virtual seconds); it is also the simulated run's
 	// time-to-contract. Zero commits immediately.
 	CommitDelay float64 `json:"commit_delay,omitempty"`
+	// Mechanism names the market mechanism every award runs under
+	// (first-price, posted-price, vickrey; empty = first-price). The
+	// executors thread it to gridsim.Config / grid.Options, and
+	// cmd/faucets-scenario's matrix mode overrides it per run.
+	Mechanism string `json:"mechanism,omitempty"`
 	// Grid tunes the live-grid executor; ignored by RunSim.
 	Grid GridTuning `json:"grid,omitempty"`
 	// SLO, when present, lets CheckSLO fail a run on absolute
@@ -253,6 +259,9 @@ func (s *Spec) Validate() error {
 	if len(s.Traffic) == 0 {
 		return ErrNoTraffic
 	}
+	if !qos.ValidMechanism(s.Mechanism) {
+		return fmt.Errorf("%w: %q", qos.ErrMechanism, s.Mechanism)
+	}
 	if err := s.Topology.validate(); err != nil {
 		return err
 	}
@@ -273,6 +282,16 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// MechanismName resolves the spec's mechanism to its canonical name:
+// the empty default reads back as first-price, so reports always carry
+// an explicit mechanism tag.
+func (s *Spec) MechanismName() string {
+	if s.Mechanism == "" {
+		return qos.MechanismFirstPrice
+	}
+	return s.Mechanism
 }
 
 func (t *Topology) validate() error {

@@ -30,6 +30,7 @@ func RunSim(s *Spec) (*ScenarioReport, error) {
 	}
 	cfg := gridsim.Config{
 		CommitDelay: s.CommitDelay,
+		Mechanism:   s.Mechanism,
 	}
 	for _, m := range machines {
 		factory, err := schedulerFactory(m.Scheduler)
@@ -57,6 +58,7 @@ func simReport(s *Spec, machines []machineSpec, res *gridsim.Result, jobs int) *
 	r := &ScenarioReport{
 		Scenario:  s.Name,
 		Backend:   "gridsim",
+		Mechanism: s.MechanismName(),
 		Seed:      s.Seed,
 		Servers:   len(machines),
 		Jobs:      jobs,

@@ -25,6 +25,7 @@ import (
 	"faucets/internal/db"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
+	"faucets/internal/shard"
 	"faucets/internal/telemetry"
 )
 
@@ -40,6 +41,9 @@ func main() {
 	snapEvery := flag.Duration("snapshot-interval", time.Minute, "WAL compaction interval (with -state-dir)")
 	walWindow := flag.Duration("wal-group-window", 0, "WAL group-commit accumulation window: how long a batch leader waits for concurrent mutations to pile on before the shared fsync (0 = flush immediately; with -state-dir)")
 	peers := flag.String("peers", "", "comma-separated peer Central Server addresses (distributed directory, §5.1)")
+	ring := flag.String("ring", "", "comma-separated addresses of EVERY shard in a consistent-hash Central Server mesh, identical on all members; users and server names partition across them")
+	shardID := flag.Int("shard-id", -1, "this server's index into -ring (its public address as peers dial it); required with -ring")
+	gossipInterval := flag.Duration("gossip-interval", 0, "shard digest push cadence (0 = default; with -ring)")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "deadline for each federation RPC round trip")
 	poolSize := flag.Int("rpc-pool-size", protocol.DefaultPoolSize, "persistent federation RPC connections kept per peer address")
 	pollTimeout := flag.Duration("poll-timeout", 3*time.Second, "deadline for each daemon liveness probe")
@@ -119,6 +123,34 @@ func main() {
 		}
 		srv.SetPeers(list)
 	}
+	if *ring != "" {
+		r, err := shard.Parse(*ring)
+		if err != nil {
+			log.Fatalf("-ring: %v", err)
+		}
+		if *shardID < 0 || *shardID >= r.Size() {
+			log.Fatalf("-shard-id: want 0..%d (index into -ring), got %d", r.Size()-1, *shardID)
+		}
+		self := r.Addrs()[*shardID]
+		srv.Ring = r
+		srv.SelfAddr = self
+		srv.GossipInterval = *gossipInterval
+		if *peers == "" {
+			// Mesh members default to peering with every other shard, so
+			// gossip and settlement forwarding work without a separate
+			// -peers list.
+			var others []string
+			for _, a := range r.Addrs() {
+				if a != self {
+					others = append(others, a)
+				}
+			}
+			srv.SetPeers(others)
+		}
+		log.Printf("faucets-server: shard %d/%d of ring %v", *shardID, r.Size(), r.Addrs())
+	} else if *shardID >= 0 {
+		log.Fatal("-shard-id requires -ring")
+	}
 	if *usersFile != "" {
 		if err := loadUsers(srv, *usersFile); err != nil {
 			log.Fatalf("users: %v", err)
@@ -140,6 +172,7 @@ func main() {
 	if *poll > 0 {
 		srv.StartPolling(*poll)
 	}
+	srv.StartGossip()
 	if *brownoutFsync > 0 || *brownoutQueue > 0 {
 		srv.StartBrownoutMonitor(0)
 	}

@@ -26,6 +26,7 @@ import (
 	"faucets/internal/health"
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
+	"faucets/internal/shard"
 	"faucets/internal/telemetry"
 	"faucets/internal/weather"
 )
@@ -56,6 +57,10 @@ type srvMetrics struct {
 	brownoutOn    *telemetry.Gauge   // 1 while browned out
 	brownoutTrans *telemetry.Counter // brownout entries + exits
 	probeSkips    *telemetry.Counter // liveness probes skipped on an OPEN breaker
+	gossipSent    *telemetry.Counter // shard digests delivered to peers
+	gossipRecv    *telemetry.Counter // shard digests accepted from peers
+	notOwner      *telemetry.Counter // requests refused with a NOT_OWNER redirect
+	fwdSettles    *telemetry.Counter // settlements forwarded to the owning shard
 }
 
 func newSrvMetrics(reg *telemetry.Registry) *srvMetrics {
@@ -75,6 +80,10 @@ func newSrvMetrics(reg *telemetry.Registry) *srvMetrics {
 		brownoutOn:    reg.Gauge("faucets_central_brownout", "1 while the server is serving in brownout (degraded-freshness) mode."),
 		brownoutTrans: reg.Counter("faucets_central_brownout_transitions_total", "Brownout mode entries and exits."),
 		probeSkips:    reg.Counter("faucets_central_probe_breaker_skips_total", "Liveness probes skipped because the daemon's circuit breaker was open."),
+		gossipSent:    reg.Counter("faucets_central_gossip_sent_total", "Shard liveness/weather digests delivered to peer shards."),
+		gossipRecv:    reg.Counter("faucets_central_gossip_received_total", "Shard liveness/weather digests accepted from peer shards."),
+		notOwner:      reg.Counter("faucets_central_not_owner_total", "Requests refused with a NOT_OWNER shard redirect."),
+		fwdSettles:    reg.Counter("faucets_central_forwarded_settles_total", "Settlements forwarded one hop to the user-owning shard."),
 	}
 }
 
@@ -153,6 +162,22 @@ type Server struct {
 	// (AuthOK.Mechanism); clients without an explicit -mechanism adopt
 	// it. Empty means first-price.
 	DefaultMechanism string
+
+	// Ring and SelfAddr make this server one shard of a consistent-hash
+	// Central Server mesh (see shardmesh.go): the ring partitions users
+	// and server names, SelfAddr is this shard's ring identity. With
+	// Ring unset (or a single-member ring) the server behaves exactly
+	// like the singleton Central Server.
+	Ring     *shard.Ring
+	SelfAddr string
+	// GossipInterval is the digest push cadence between shards (zero =
+	// DefaultGossipInterval); GossipStaleAfter is how old a peer digest
+	// may grow before its entries stop being served (zero = 5×interval).
+	GossipInterval   time.Duration
+	GossipStaleAfter time.Duration
+	gossipSeq        atomic.Uint64
+	remoteMu         sync.Mutex
+	remotes          map[string]remoteDigest
 
 	// MaxInflight caps concurrently admitted auction and settlement
 	// requests. Past the cap, admission control sheds the request with a
@@ -527,17 +552,7 @@ func (s *Server) Weather() weather.Report {
 	}
 	s.weatherMu.Unlock()
 
-	s.mu.RLock()
-	used, total, servers := 0, 0, 0
-	for _, e := range s.registry {
-		if !e.alive || now.Sub(e.lastSeen) > s.DeadAfter {
-			continue
-		}
-		servers++
-		used += e.dyn.UsedPE
-		total += e.info.Spec.NumPE
-	}
-	s.mu.RUnlock()
+	servers, used, total := s.fleetScan()
 
 	r := weather.Report{Time: float64(now.UnixNano()) / 1e9, Servers: servers, TotalPE: total}
 	if total > 0 {
@@ -547,11 +562,30 @@ func (s *Server) Weather() weather.Report {
 		}
 	}
 	s.wagg.Fill(&r)
+	if s.sharded() {
+		s.mergeRemoteWeather(&r, used)
+	}
 
 	s.weatherMu.Lock()
 	s.weatherRep, s.weatherAt, s.weatherOK = r, now, true
 	s.weatherMu.Unlock()
 	return r
+}
+
+// fleetScan counts the live local fleet: entries, busy PEs, total PEs.
+func (s *Server) fleetScan() (servers, used, total int) {
+	now := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.registry {
+		if !e.alive || now.Sub(e.lastSeen) > s.DeadAfter {
+			continue
+		}
+		servers++
+		used += e.dyn.UsedPE
+		total += e.info.Spec.NumPE
+	}
+	return servers, used, total
 }
 
 // invalidateWeather drops the cached report so the next request
@@ -793,11 +827,21 @@ func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 		if err := protocol.Decode(f, f.Type, &req); err != nil {
 			return err
 		}
+		if !s.ownsUser(req.User) {
+			// Sessions and accounting are shard-local: the client must log
+			// in at the owning shard, and the redirect tells it where.
+			s.met.notOwner.Inc()
+			return protocol.MarkNotOwner(errAuth, s.Ring.OwnerUser(req.User))
+		}
 		token, err := s.Auth.Login(req.User, req.Password)
 		if err != nil {
 			return errAuth
 		}
-		return protocol.WriteFrame(conn, protocol.TypeAuthOK, protocol.AuthOK{Token: token, Mechanism: s.DefaultMechanism})
+		ok := protocol.AuthOK{Token: token, Mechanism: s.DefaultMechanism}
+		if s.sharded() {
+			ok.Shards = s.Ring.Addrs()
+		}
+		return protocol.WriteFrame(conn, protocol.TypeAuthOK, ok)
 
 	case protocol.TypeListServersReq:
 		var req protocol.ListServersReq
@@ -866,6 +910,15 @@ func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 		if err := protocol.Decode(f, f.Type, &req); err != nil {
 			return err
 		}
+		if !s.ownsServer(req.Info.Spec.Name) {
+			// Each daemon registers with (and is polled by) exactly its
+			// owning shard — that is what keeps N shards from doing N×
+			// polling. The redirect points a mis-configured daemon home.
+			s.met.notOwner.Inc()
+			return protocol.MarkNotOwner(
+				fmt.Errorf("central: server %s belongs to another shard", req.Info.Spec.Name),
+				s.Ring.OwnerServer(req.Info.Spec.Name))
+		}
 		if err := s.RegisterDaemon(req.Info); err != nil {
 			return err
 		}
@@ -910,10 +963,47 @@ func (s *Server) dispatch(conn *protocol.ReplyConn, f protocol.Frame) error {
 			return err
 		}
 		defer release()
+		if !s.ownsUser(req.User) {
+			// The daemon settled with the shard it registered at, but the
+			// money belongs to the user's shard. Forward one hop server-side
+			// — daemons stay ring-unaware.
+			s.met.fwdSettles.Inc()
+			if err := s.forwardSettle(req); err != nil {
+				return err
+			}
+			return protocol.WriteFrame(conn, protocol.TypeSettleOK, protocol.SettleOK{})
+		}
 		if err := s.Settle(req); err != nil {
 			return err
 		}
 		return protocol.WriteFrame(conn, protocol.TypeSettleOK, protocol.SettleOK{})
+
+	case protocol.TypeForwardSettleReq:
+		// A settlement forwarded by a peer shard: settle locally, always.
+		// The distinct frame type is the recursion guard — this handler
+		// never forwards, so a stale ring on the sender costs one wrong
+		// hop at most, never a loop.
+		var req protocol.ForwardSettleReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		release, err := s.admitSettle()
+		if err != nil {
+			return err
+		}
+		defer release()
+		if err := s.Settle(protocol.SettleReq(req)); err != nil {
+			return err
+		}
+		return protocol.WriteFrame(conn, protocol.TypeSettleOK, protocol.SettleOK{})
+
+	case protocol.TypeGossipReq:
+		var req protocol.GossipReq
+		if err := protocol.Decode(f, f.Type, &req); err != nil {
+			return err
+		}
+		s.acceptGossip(req)
+		return protocol.WriteFrame(conn, protocol.TypeGossipOK, protocol.GossipOK{})
 
 	case protocol.TypeHistoryReq:
 		var req protocol.HistoryReq

@@ -1,8 +1,10 @@
 package central
 
 import (
+	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"faucets/internal/protocol"
 	"faucets/internal/qos"
@@ -39,6 +41,12 @@ func (s *Server) Peers() []string {
 // (local entries win) and sorted by name.
 func (s *Server) FederatedServers(c *qos.Contract) []protocol.ServerInfo {
 	local := s.Servers(c)
+	if s.sharded() {
+		// Sharded mesh: cross-shard knowledge arrives by periodic gossip
+		// (shardmesh.go), so the union is a local-cache merge — no peer
+		// round trips on the auction path at all.
+		return s.shardedServers(local, c)
+	}
 	if s.Brownout() {
 		// Brownout pauses federation gossip: peer directory fan-outs are
 		// the most expensive part of a solicitation and their absence only
@@ -81,17 +89,49 @@ func (s *Server) FederatedServers(c *qos.Contract) []protocol.ServerInfo {
 	return out
 }
 
-// verifyViaPeers asks each peer to vouch for a user's token; the first
-// positive answer wins. Used when a daemon relays credentials of a user
-// whose account lives on another Central Server in the federation.
-// Verification is read-only, so it rides the pooled federation
-// connections.
+// verifyViaPeers asks every peer to vouch for a user's token,
+// concurrently, first positive answer wins. Used when a daemon relays
+// credentials of a user whose account lives on another Central Server
+// in the federation. The old sequential walk cost up to
+// len(peers)×RPCTimeout on a cache-cold verify when early peers were
+// partitioned; the fan-out bounds the worst case at one timeout.
+// Probes share the liveness prober's breaker set, so a peer that keeps
+// timing out is skipped instantly until its cooldown — but a remote
+// refusal ("I don't know this token") proves the transport works and
+// never accrues suspicion. Verification is read-only, so it rides the
+// pooled federation connections.
 func (s *Server) verifyViaPeers(user, token string) bool {
-	for _, addr := range s.Peers() {
-		var ok protocol.VerifyOK
-		err := s.peerRPC().Call(addr, s.RPCTimeout, protocol.TypePeerVerifyReq,
-			protocol.PeerVerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
-		if err == nil {
+	peers := s.Peers()
+	if len(peers) == 0 {
+		return false
+	}
+	brk := s.probeBreakers()
+	// Buffered to len(peers): stragglers after the first positive answer
+	// park their result in the buffer and exit — no goroutine leak.
+	results := make(chan bool, len(peers))
+	asked := 0
+	for _, addr := range peers {
+		if !brk.Allow(addr) {
+			s.met.probeSkips.Inc()
+			continue
+		}
+		asked++
+		go func(addr string) {
+			start := time.Now()
+			var ok protocol.VerifyOK
+			err := s.peerRPC().Call(addr, s.RPCTimeout, protocol.TypePeerVerifyReq,
+				protocol.PeerVerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
+			health := err
+			var remote *protocol.RemoteError
+			if errors.As(err, &remote) {
+				health = nil // a refusal is a healthy peer saying no
+			}
+			brk.Record(addr, time.Since(start), health)
+			results <- err == nil
+		}(addr)
+	}
+	for i := 0; i < asked; i++ {
+		if <-results {
 			return true
 		}
 	}

@@ -84,6 +84,25 @@ type Client struct {
 	// GridMechanism is the default mechanism the Central Server
 	// advertised at login (AuthOK.Mechanism); filled by Login.
 	GridMechanism string
+	// Shards is the Central Server mesh's shard-ring address list as
+	// advertised at login (AuthOK.Shards); empty on single-shard grids.
+	// It is a cached routing hint: when a request comes back with a
+	// NOT_OWNER redirect the client refreshes its session at the owning
+	// shard and retries, so a stale map costs one extra round trip, not
+	// a failure.
+	Shards []string
+
+	// password is retained from Login so the session can transparently
+	// re-authenticate after a shard redirect or a restarted shard losing
+	// its in-memory session store.
+	password string
+
+	// sessMu guards the rebindable session state above (CentralAddr,
+	// Token, GridMechanism, Shards): a transparent re-login may rewrite
+	// it while concurrent placements read it. Client methods snapshot
+	// through session()/token(); external readers should not race a
+	// refresh (they observe the session between their own calls).
+	sessMu sync.RWMutex
 
 	fanoutOnce sync.Once
 	fanoutHist *telemetry.Histogram
@@ -180,20 +199,107 @@ func Login(centralAddr, user, password string) (*Client, error) {
 
 // LoginTimeout is Login with an explicit per-call deadline, applied to
 // the login exchange and inherited by the session's subsequent calls.
+// On a sharded grid any shard answers: a login landing on the wrong
+// shard is answered with a NOT_OWNER redirect and retried once at the
+// owner, after which CentralAddr points at the user's home shard and
+// steady-state requests need no redirects at all.
 func LoginTimeout(centralAddr, user, password string, rpcTimeout time.Duration) (*Client, error) {
 	c := &Client{CentralAddr: centralAddr, User: user, DialTimeout: 5 * time.Second, RPCTimeout: rpcTimeout, UploadChunk: 1 << 20}
-	conn, err := c.dial(centralAddr)
+	c.password = password
+	if err := c.loginAt(centralAddr); err != nil {
+		if owner, redirect := protocol.NotOwnerAddr(err); redirect && owner != centralAddr {
+			err = c.loginAt(owner)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client: login: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// loginAt performs one login exchange against addr; on success the
+// session is rebound there (CentralAddr, token, mechanism, shard map).
+func (c *Client) loginAt(addr string) error {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	return c.loginAtLocked(addr)
+}
+
+// loginAtLocked is loginAt with sessMu already held.
+func (c *Client) loginAtLocked(addr string) error {
+	conn, err := c.dial(addr)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer conn.Close()
 	var ok protocol.AuthOK
-	if err := protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeAuthReq, protocol.AuthReq{User: user, Password: password}, protocol.TypeAuthOK, &ok); err != nil {
-		return nil, fmt.Errorf("client: login: %w", err)
+	if err := protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeAuthReq, protocol.AuthReq{User: c.User, Password: c.password}, protocol.TypeAuthOK, &ok); err != nil {
+		return err
 	}
+	c.CentralAddr = addr
 	c.Token = ok.Token
 	c.GridMechanism = ok.Mechanism
-	return c, nil
+	c.Shards = ok.Shards
+	return nil
+}
+
+// session snapshots the rebindable session state for one call attempt.
+func (c *Client) session() (addr, token string) {
+	c.sessMu.RLock()
+	defer c.sessMu.RUnlock()
+	return c.CentralAddr, c.Token
+}
+
+// token snapshots the current session token.
+func (c *Client) token() string {
+	_, tok := c.session()
+	return tok
+}
+
+// refreshSession re-authenticates after a NOT_OWNER redirect (at the
+// owning shard) or an authentication refusal (same shard — its session
+// store restarted). prevToken is the token the failed attempt carried:
+// when a concurrent caller already refreshed the session past it, the
+// refresh is free. Only sessions created through Login can refresh;
+// hand-assembled Clients carry no password and keep the original error.
+func (c *Client) refreshSession(prevToken string, err error) bool {
+	if c.password == "" {
+		return false
+	}
+	owner, redirect := protocol.NotOwnerAddr(err)
+	var remote *protocol.RemoteError
+	authFail := errors.As(err, &remote) && remote.Message == "central: authentication failed"
+	if !redirect && !authFail {
+		return false
+	}
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if c.Token != prevToken {
+		return true // another goroutine refreshed while we waited
+	}
+	addr := c.CentralAddr
+	if redirect {
+		addr = owner
+	}
+	return c.loginAtLocked(addr) == nil
+}
+
+// centralCall performs one Central Server exchange, transparently
+// refreshing the session and retrying once when the shard mesh
+// redirects or a restarted shard no longer knows the token. build runs
+// per attempt with that attempt's token, so the retried request carries
+// the fresh one.
+func (c *Client) centralCall(reqType string, build func(token string) any, wantReply string, reply any) error {
+	addr, tok := c.session()
+	err := c.callRetry(addr, reqType, build(tok), wantReply, reply)
+	if err == nil {
+		return nil
+	}
+	if !c.refreshSession(tok, err) {
+		return err
+	}
+	addr, tok = c.session()
+	return c.callRetry(addr, reqType, build(tok), wantReply, reply)
 }
 
 // mechanismFor resolves the market mechanism used to place a contract:
@@ -205,7 +311,9 @@ func (c *Client) mechanismFor(contract *qos.Contract) (market.Mechanism, error) 
 		name = c.Mechanism
 	}
 	if name == "" {
+		c.sessMu.RLock()
 		name = c.GridMechanism
+		c.sessMu.RUnlock()
 	}
 	return market.ForName(name)
 }
@@ -235,8 +343,8 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 // contract (nil lists all).
 func (c *Client) ListServers(contract *qos.Contract) ([]protocol.ServerInfo, error) {
 	var reply protocol.ListServersOK
-	err := c.callRetry(c.CentralAddr, protocol.TypeListServersReq,
-		protocol.ListServersReq{Token: c.Token, Contract: contract},
+	err := c.centralCall(protocol.TypeListServersReq,
+		func(token string) any { return protocol.ListServersReq{Token: token, Contract: contract} },
 		protocol.TypeListServersOK, &reply)
 	if err != nil {
 		return nil, fmt.Errorf("client: list servers: %w", err)
@@ -247,7 +355,10 @@ func (c *Client) ListServers(contract *qos.Contract) ([]protocol.ServerInfo, err
 // ListApps fetches the grid's Known Applications catalogue.
 func (c *Client) ListApps() ([]string, error) {
 	var reply protocol.ListAppsOK
-	if err := c.callRetry(c.CentralAddr, protocol.TypeListAppsReq, protocol.ListAppsReq{Token: c.Token}, protocol.TypeListAppsOK, &reply); err != nil {
+	err := c.centralCall(protocol.TypeListAppsReq,
+		func(token string) any { return protocol.ListAppsReq{Token: token} },
+		protocol.TypeListAppsOK, &reply)
+	if err != nil {
 		return nil, fmt.Errorf("client: list apps: %w", err)
 	}
 	return reply.Apps, nil
@@ -256,7 +367,10 @@ func (c *Client) ListApps() ([]string, error) {
 // Credits queries a cluster's bartering balance.
 func (c *Client) Credits(cluster string) (float64, error) {
 	var reply protocol.CreditsOK
-	if err := c.callRetry(c.CentralAddr, protocol.TypeCreditsReq, protocol.CreditsReq{Token: c.Token, Cluster: cluster}, protocol.TypeCreditsOK, &reply); err != nil {
+	err := c.centralCall(protocol.TypeCreditsReq,
+		func(token string) any { return protocol.CreditsReq{Token: token, Cluster: cluster} },
+		protocol.TypeCreditsOK, &reply)
+	if err != nil {
 		return 0, fmt.Errorf("client: credits: %w", err)
 	}
 	return reply.Credits, nil
@@ -275,7 +389,7 @@ func (p *fdPort) ServerName() string { return p.info.Spec.Name }
 func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, bool) {
 	var reply protocol.BidOK
 	err := p.c.rpcPool().Call(p.info.Addr, p.c.RPCTimeout, protocol.TypeBidReq,
-		protocol.BidReq{User: p.c.User, Token: p.c.Token, Contract: contract},
+		protocol.BidReq{User: p.c.User, Token: p.c.token(), Contract: contract},
 		protocol.TypeBidOK, &reply)
 	if err != nil {
 		return bidding.Bid{}, false
@@ -293,7 +407,7 @@ func (p *fdPort) RequestBid(_ float64, contract *qos.Contract) (bidding.Bid, boo
 func (p *fdPort) RequestBidBatch(_ float64, cs []*qos.Contract) []market.BatchBid {
 	var reply protocol.BidBatchOK
 	err := p.c.rpcPool().Call(p.info.Addr, p.c.RPCTimeout, protocol.TypeBidBatchReq,
-		protocol.BidBatchReq{User: p.c.User, Token: p.c.Token, Contracts: cs},
+		protocol.BidBatchReq{User: p.c.User, Token: p.c.token(), Contracts: cs},
 		protocol.TypeBidBatchOK, &reply)
 	if err != nil || len(reply.Bids) != len(cs) {
 		return nil
@@ -342,7 +456,7 @@ func (p *fdPort) Post(now float64, contract *qos.Contract) (bidding.Bid, bool) {
 func (p *fdPort) Commit(_ float64, jobID string, b bidding.Bid) error {
 	var reply protocol.CommitOK
 	return p.c.rpcPool().Call(p.info.Addr, p.c.RPCTimeout, protocol.TypeCommitReq,
-		protocol.CommitReq{User: p.c.User, Token: p.c.Token, JobID: jobID, Bid: b},
+		protocol.CommitReq{User: p.c.User, Token: p.c.token(), JobID: jobID, Bid: b},
 		protocol.TypeCommitOK, &reply)
 }
 
@@ -577,7 +691,7 @@ func (c *Client) Upload(p *Placement, name string, data []byte) error {
 func (c *Client) Start(p *Placement) error {
 	var reply protocol.SubmitOK
 	return c.rpcPool().Call(p.Server.Addr, c.RPCTimeout, protocol.TypeSubmitReq,
-		protocol.SubmitReq{User: c.User, Token: c.Token, JobID: p.JobID, Contract: p.Contract},
+		protocol.SubmitReq{User: c.User, Token: c.token(), JobID: p.JobID, Contract: p.Contract},
 		protocol.TypeSubmitOK, &reply)
 }
 
@@ -585,7 +699,7 @@ func (c *Client) Start(p *Placement) error {
 func (c *Client) Status(p *Placement) (protocol.StatusOK, error) {
 	var reply protocol.StatusOK
 	err := c.callRetry(p.Server.Addr, protocol.TypeStatusReq,
-		protocol.StatusReq{Token: c.Token, JobID: p.JobID},
+		protocol.StatusReq{Token: c.token(), JobID: p.JobID},
 		protocol.TypeStatusOK, &reply)
 	return reply, err
 }
@@ -614,7 +728,7 @@ func (c *Client) WaitFinished(p *Placement, timeout time.Duration) (protocol.Sta
 func (c *Client) Kill(p *Placement) (protocol.KillOK, error) {
 	var reply protocol.KillOK
 	err := c.rpcPool().Call(p.Server.Addr, c.RPCTimeout, protocol.TypeKillReq,
-		protocol.KillReq{User: c.User, Token: c.Token, JobID: p.JobID},
+		protocol.KillReq{User: c.User, Token: c.token(), JobID: p.JobID},
 		protocol.TypeKillOK, &reply)
 	return reply, err
 }
@@ -631,7 +745,7 @@ func (c *Client) FetchOutput(p *Placement, name string) ([]byte, error) {
 	for {
 		var reply protocol.OutputOK
 		err := protocol.CallTimeout(conn, c.RPCTimeout, protocol.TypeOutputReq,
-			protocol.OutputReq{Token: c.Token, JobID: p.JobID, Name: name, Offset: off, Limit: 1 << 20},
+			protocol.OutputReq{Token: c.token(), JobID: p.JobID, Name: name, Offset: off, Limit: 1 << 20},
 			protocol.TypeOutputOK, &reply)
 		if err != nil {
 			return nil, fmt.Errorf("client: fetch %s: %w", name, err)
@@ -661,7 +775,7 @@ func (c *Client) Watch(jobID string, fromStart bool, fn func(protocol.Telemetry)
 	// Deadline-guard the subscribe handshake only; the telemetry stream
 	// that follows is long-lived by design.
 	_ = conn.SetDeadline(time.Now().Add(protocol.Timeout(c.RPCTimeout)))
-	if err := protocol.WriteFrame(conn, protocol.TypeWatchReq, protocol.WatchReq{Token: c.Token, JobID: jobID, FromStart: fromStart}); err != nil {
+	if err := protocol.WriteFrame(conn, protocol.TypeWatchReq, protocol.WatchReq{Token: c.token(), JobID: jobID, FromStart: fromStart}); err != nil {
 		return err
 	}
 	f, err := protocol.ReadFrame(conn)

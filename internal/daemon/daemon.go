@@ -161,6 +161,12 @@ type Daemon struct {
 	verifyMu    sync.Mutex
 	verifyCache map[string]time.Time
 
+	// centralHome overrides cfg.CentralAddr once a sharded mesh has
+	// redirected registration to the shard owning this daemon's name;
+	// every later central call (verify, settle, re-register) follows it.
+	centralMu   sync.RWMutex
+	centralHome string
+
 	Stage *stage.Store
 
 	listener net.Listener
@@ -441,15 +447,39 @@ func (d *Daemon) Close() {
 // wire clients (CentralWeather, CentralHistory) can share it.
 func (d *Daemon) RPCPool() *protocol.Pool { return d.pool }
 
+// centralAddr is the Central Server this daemon talks to: the
+// configured address until a NOT_OWNER redirect re-homes it to the
+// shard owning this daemon's name.
+func (d *Daemon) centralAddr() string {
+	d.centralMu.RLock()
+	defer d.centralMu.RUnlock()
+	if d.centralHome != "" {
+		return d.centralHome
+	}
+	return d.cfg.CentralAddr
+}
+
 // register announces this daemon to the Central Server ("at startup each
 // FD registers itself with the Faucets Central Server"). Registration is
 // idempotent, so transient failures are retried with jittered backoff.
+// Against a sharded mesh the configured address may be any shard: a
+// NOT_OWNER redirect re-homes the daemon to its owning shard, which from
+// then on receives its heartbeats, verifies, and settlements.
 func (d *Daemon) register() error {
 	retry := protocol.Retry{Attempts: 3, Base: 50 * time.Millisecond, Max: time.Second, Stop: d.closed}
 	err := retry.Do(func() error {
 		var ok protocol.RegisterOK
-		return d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+		err := d.pool.Call(d.centralAddr(), d.cfg.RPCTimeout,
 			protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
+		if owner, redirected := protocol.NotOwnerAddr(err); redirected && owner != "" {
+			d.centralMu.Lock()
+			d.centralHome = owner
+			d.centralMu.Unlock()
+			log.Printf("daemon %s: re-homed to owning shard %s", d.Name(), owner)
+			return d.pool.Call(owner, d.cfg.RPCTimeout,
+				protocol.TypeRegisterReq, protocol.RegisterReq{Info: d.cfg.Info}, protocol.TypeRegisterOK, &ok)
+		}
+		return err
 	})
 	if err != nil {
 		return fmt.Errorf("daemon: register: %w", err)
@@ -477,7 +507,7 @@ func (d *Daemon) verify(user, token string) error {
 		}
 	}
 	var ok protocol.VerifyOK
-	err := d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout,
+	err := d.pool.Call(d.centralAddr(), d.cfg.RPCTimeout,
 		protocol.TypeVerifyReq, protocol.VerifyReq{User: user, Token: token}, protocol.TypeVerifyOK, &ok)
 	if err != nil {
 		return err
@@ -635,7 +665,7 @@ func (d *Daemon) flushSettlements() {
 	done := make(map[string]bool, len(pending))
 	for _, req := range pending {
 		var ok protocol.SettleOK
-		err := d.pool.Call(d.cfg.CentralAddr, d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
+		err := d.pool.Call(d.centralAddr(), d.cfg.RPCTimeout, protocol.TypeSettleReq, req, protocol.TypeSettleOK, &ok)
 		if err == nil {
 			done[req.JobID] = true
 			continue

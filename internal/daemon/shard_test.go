@@ -1,0 +1,64 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"faucets/internal/accounting"
+	"faucets/internal/central"
+	"faucets/internal/protocol"
+	"faucets/internal/shard"
+)
+
+// TestRegisterFollowsShardRedirect: a daemon configured with ANY shard
+// of a sharded Central Server mesh must land in the directory of the
+// shard owning its name — the NOT_OWNER redirect re-homes it, so
+// operators never need ring awareness on the daemon side.
+func TestRegisterFollowsShardRedirect(t *testing.T) {
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	ring := shard.New(addrs)
+	servers := make([]*central.Server, 2)
+	for i := range servers {
+		s := central.New(accounting.Dollars)
+		s.Ring = ring
+		s.SelfAddr = addrs[i]
+		go s.Serve(listeners[i])
+		t.Cleanup(s.Close)
+		servers[i] = s
+	}
+
+	// A machine name shard 1 owns, registered against shard 0.
+	var name string
+	for i := 0; i < 256 && name == ""; i++ {
+		if n := fmt.Sprintf("redirected-%03d", i); ring.OwnerServer(n) == addrs[1] {
+			name = n
+		}
+	}
+	if name == "" {
+		t.Fatal("no test name hashes to shard 1")
+	}
+	d, _ := startDaemon(t, Config{
+		CentralAddr: addrs[0],
+		Info:        protocol.ServerInfo{Spec: spec(name, 64), Apps: []string{"synth"}},
+	})
+
+	if got := d.centralAddr(); got != addrs[1] {
+		t.Fatalf("daemon central = %s, want re-homed to owning shard %s", got, addrs[1])
+	}
+	if dir := servers[1].Servers(nil); len(dir) != 1 || dir[0].Spec.Name != name {
+		t.Fatalf("owning shard directory = %v", dir)
+	}
+	if dir := servers[0].Servers(nil); len(dir) != 0 {
+		t.Fatalf("non-owning shard kept the registration: %v", dir)
+	}
+}

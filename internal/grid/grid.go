@@ -25,6 +25,7 @@ import (
 	"faucets/internal/machine"
 	"faucets/internal/protocol"
 	"faucets/internal/scheduler"
+	"faucets/internal/shard"
 	"faucets/internal/telemetry"
 )
 
@@ -128,6 +129,15 @@ type Options struct {
 	// BrownoutInterval overrides the monitor cadence (zero =
 	// central.DefaultBrownoutInterval).
 	BrownoutInterval time.Duration
+	// Shards boots the Central Server as a consistent-hash mesh of this
+	// many cooperating shards (internal/shard): users and server names
+	// partition across them, daemons register with their owning shard,
+	// and shards gossip liveness/weather digests. 0 or 1 keeps the
+	// singleton Central Server, byte-identical to before.
+	Shards int
+	// GossipInterval is the shard digest push cadence (zero =
+	// central.DefaultGossipInterval). Only meaningful with Shards > 1.
+	GossipInterval time.Duration
 }
 
 // Grid is a running loopback Faucets deployment.
@@ -137,6 +147,13 @@ type Grid struct {
 	AppSpector     *appspector.Server
 	AppSpectorAddr string
 	Daemons        []*daemon.Daemon
+
+	// Shards holds every Central Server shard when Options.Shards > 1,
+	// index-aligned with ShardAddrs; Shards[0] == Central. Empty on
+	// single-shard grids.
+	Shards     []*central.Server
+	ShardAddrs []string
+	ring       *shard.Ring
 
 	// Tracer is shared by the grid's clients and daemons, so one trace
 	// accumulates a job's full submit→settle span chain.
@@ -171,28 +188,33 @@ func Start(clusters []ClusterSpec, opts Options) (*Grid, error) {
 		metricsAddrs: map[string]string{},
 	}
 
-	fs, err := g.newCentral()
-	if err != nil {
-		return nil, err
-	}
-	g.Central = fs
-	fsl, err := g.listen("")
-	if err != nil {
-		return nil, err
-	}
-	g.CentralAddr = fsl.Addr().String()
-	go g.Central.Serve(fsl)
-	if opts.PollInterval > 0 {
-		g.Central.StartPolling(opts.PollInterval)
-	}
-	if err := g.serveMetrics("central", func() *telemetry.Registry { return g.Central.Metrics }); err != nil {
-		g.Close()
-		return nil, err
+	if opts.Shards > 1 {
+		if err := g.startShards(opts.Shards); err != nil {
+			g.Close()
+			return nil, err
+		}
+	} else {
+		fs, err := g.newCentral()
+		if err != nil {
+			return nil, err
+		}
+		g.Central = fs
+		fsl, err := g.listen("")
+		if err != nil {
+			return nil, err
+		}
+		g.CentralAddr = fsl.Addr().String()
+		go g.Central.Serve(fsl)
+		if opts.PollInterval > 0 {
+			g.Central.StartPolling(opts.PollInterval)
+		}
+		if err := g.serveMetrics("central", func() *telemetry.Registry { return g.Central.Metrics }); err != nil {
+			g.Close()
+			return nil, err
+		}
 	}
 
-	g.AppSpector = appspector.NewServer(func(token string) (string, error) {
-		return g.Central.Auth.Verify(token)
-	})
+	g.AppSpector = appspector.NewServer(g.verifyToken)
 	asl, err := g.listen("")
 	if err != nil {
 		g.Close()
@@ -287,12 +309,110 @@ func (g *Grid) listen(addr string) (net.Listener, error) {
 	return l, nil
 }
 
+// startShards boots Options.Shards Central Servers as one consistent-
+// hash mesh. Listeners are opened first so the ring can be built from
+// real addresses; then each shard comes up already knowing the full
+// membership, with its peers set to the other shards and the gossip
+// loop running. Daemons registered later are routed to the shard that
+// owns their name, so each daemon is polled by exactly one shard.
+func (g *Grid) startShards(n int) error {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		l, err := g.listen("")
+		if err != nil {
+			for _, prev := range lns[:i] {
+				prev.Close()
+			}
+			return err
+		}
+		lns[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	g.ring = shard.New(addrs)
+	g.ShardAddrs = addrs
+	for i := range lns {
+		fs, err := g.newCentralAt(shardStateSub(i), g.ring, addrs[i])
+		if err != nil {
+			for _, rest := range lns[i:] {
+				rest.Close()
+			}
+			return err
+		}
+		g.Shards = append(g.Shards, fs)
+		go fs.Serve(lns[i])
+		if g.opts.PollInterval > 0 {
+			fs.StartPolling(g.opts.PollInterval)
+		}
+		fs.StartGossip()
+		name := "central"
+		if i > 0 {
+			name = fmt.Sprintf("central-%d", i)
+		}
+		idx := i
+		if err := g.serveMetrics(name, func() *telemetry.Registry {
+			return g.Shards[idx].Metrics
+		}); err != nil {
+			return err
+		}
+	}
+	g.Central = g.Shards[0]
+	g.CentralAddr = addrs[0]
+	return nil
+}
+
+// shardStateSub is shard i's state subdirectory. Sharded grids journal
+// under central-<i> for every shard (including 0), so a durable
+// single-shard grid's plain "central" directory is never mistaken for
+// shard state.
+func shardStateSub(i int) string {
+	return fmt.Sprintf("central-%d", i)
+}
+
+// verifyToken resolves an AppSpector bearer token against whichever
+// shard issued it. Sessions are shard-local (a client logs in at its
+// user's owner), so the sharded grid has to try each shard; unsharded
+// grids keep the single-server fast path.
+func (g *Grid) verifyToken(token string) (string, error) {
+	g.mu.Lock()
+	shards := append([]*central.Server(nil), g.Shards...)
+	fs := g.Central
+	g.mu.Unlock()
+	if len(shards) == 0 {
+		return fs.Auth.Verify(token)
+	}
+	var err error
+	for _, s := range shards {
+		var user string
+		if user, err = s.Auth.Verify(token); err == nil {
+			return user, nil
+		}
+	}
+	return "", err
+}
+
+// centralAddrFor is the Central Server address a daemon should register
+// with: its name's ring owner when sharded, else the singleton.
+func (g *Grid) centralAddrFor(name string) string {
+	if g.ring.Size() > 1 {
+		return g.ring.OwnerServer(name)
+	}
+	return g.CentralAddr
+}
+
 // newCentral builds a configured Central Server; with a StateDir it
 // recovers from <StateDir>/central (the crash-recovery path).
 func (g *Grid) newCentral() (*central.Server, error) {
+	return g.newCentralAt("central", nil, "")
+}
+
+// newCentralAt builds one Central Server journaling under
+// <StateDir>/<stateSub>; a non-nil ring makes it a mesh member with the
+// given self address, peered to every other ring member.
+func (g *Grid) newCentralAt(stateSub string, ring *shard.Ring, selfAddr string) (*central.Server, error) {
 	var fs *central.Server
 	if g.opts.StateDir != "" {
-		store, err := db.Open(filepath.Join(g.opts.StateDir, "central"))
+		store, err := db.Open(filepath.Join(g.opts.StateDir, stateSub))
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +438,18 @@ func (g *Grid) newCentral() (*central.Server, error) {
 	fs.BrownoutFsync = g.opts.BrownoutFsync
 	fs.BrownoutQueue = g.opts.BrownoutQueue
 	fs.DefaultMechanism = g.opts.Mechanism
+	if ring != nil {
+		fs.Ring = ring
+		fs.SelfAddr = selfAddr
+		fs.GossipInterval = g.opts.GossipInterval
+		var peers []string
+		for _, a := range ring.Addrs() {
+			if a != selfAddr {
+				peers = append(peers, a)
+			}
+		}
+		fs.SetPeers(peers)
+	}
 	fs.StartBrownoutMonitor(g.opts.BrownoutInterval)
 	return fs, nil
 }
@@ -345,7 +477,7 @@ func (g *Grid) startDaemon(i int, addr string) (*daemon.Daemon, string, error) {
 		Info:           protocol.ServerInfo{Spec: cl.Spec, Apps: cl.Apps, Home: cl.Home},
 		Scheduler:      factory(cl.Spec, g.opts.SchedCfg),
 		Bidder:         cl.Bidder,
-		CentralAddr:    g.CentralAddr,
+		CentralAddr:    g.centralAddrFor(cl.Spec.Name),
 		AppSpectorAddr: g.AppSpectorAddr,
 		TimeScale:      g.opts.TimeScale,
 		RPCTimeout:     g.opts.RPCTimeout,
@@ -402,6 +534,100 @@ func (g *Grid) RestartCentral() error {
 		fs.StartPolling(g.opts.PollInterval)
 	}
 	return nil
+}
+
+// RestartShard crash-stops one mesh shard and boots a replacement on
+// the same ring address from the same state directory. The replacement
+// rejoins with the identical ring (ownership never moves), its WAL
+// replay restores accounting and settled history, daemons repopulate
+// its directory via re-register heartbeats, and its gossip seq restarts
+// at zero — peers accept that once the dead shard's last digest ages
+// past the staleness window. Requires a StateDir, like RestartCentral.
+func (g *Grid) RestartShard(i int) error {
+	if g.opts.StateDir == "" {
+		return fmt.Errorf("grid: RestartShard needs Options.StateDir")
+	}
+	if i < 0 || i >= len(g.Shards) {
+		return fmt.Errorf("grid: no shard %d", i)
+	}
+	old := g.Shards[i]
+	old.Close()
+	if err := old.DB.Close(); err != nil {
+		return err
+	}
+	fs, err := g.newCentralAt(shardStateSub(i), g.ring, g.ShardAddrs[i])
+	if err != nil {
+		return err
+	}
+	l, err := g.listen(g.ShardAddrs[i])
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.Shards[i] = fs
+	if i == 0 {
+		g.Central = fs
+	}
+	g.mu.Unlock()
+	go fs.Serve(l)
+	if g.opts.PollInterval > 0 {
+		fs.StartPolling(g.opts.PollInterval)
+	}
+	fs.StartGossip()
+	return nil
+}
+
+// KillShard crash-stops one mesh shard without replacing it, for tests
+// that need a window where the shard is simply gone.
+func (g *Grid) KillShard(i int) error {
+	if i < 0 || i >= len(g.Shards) {
+		return fmt.Errorf("grid: no shard %d", i)
+	}
+	g.Shards[i].Close()
+	return g.Shards[i].DB.Close()
+}
+
+// shardList is the set of control-plane servers to aggregate reads
+// over: every mesh shard, or just the singleton Central Server.
+func (g *Grid) shardList() []*central.Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.Shards) > 0 {
+		return append([]*central.Server(nil), g.Shards...)
+	}
+	return []*central.Server{g.Central}
+}
+
+// HistoryLen is the grid-wide settled-contract count: the sum over all
+// shards' databases (each settlement lands on exactly one shard — the
+// paying user's owner — so the sum counts each contract once).
+func (g *Grid) HistoryLen() int {
+	n := 0
+	for _, s := range g.shardList() {
+		n += s.DB.HistoryLen()
+	}
+	return n
+}
+
+// Revenue is a Compute Server's settled revenue summed across shards.
+// A server's settlements are keyed by the paying user, so on a sharded
+// grid they scatter over every user-owning shard.
+func (g *Grid) Revenue(server string) float64 {
+	v := 0.0
+	for _, s := range g.shardList() {
+		v += s.DB.Revenue(server)
+	}
+	return v
+}
+
+// Contracts returns up to limit settled contracts per shard, merged.
+// Cross-shard ordering is not meaningful; callers key by JobID.
+func (g *Grid) Contracts(limit int) []db.ContractRecord {
+	var out []db.ContractRecord
+	for _, s := range g.shardList() {
+		out = append(out, s.DB.RecentContracts(nil, limit)...)
+	}
+	return out
 }
 
 // RestartDaemon crash-stops the named daemon and boots a replacement on
@@ -462,7 +688,11 @@ func (g *Grid) Close() {
 	if g.AppSpector != nil {
 		g.AppSpector.Close()
 	}
-	if g.Central != nil {
+	if len(g.Shards) > 0 {
+		for _, s := range g.Shards {
+			s.Close()
+		}
+	} else if g.Central != nil {
 		g.Central.Close()
 	}
 	g.mu.Lock()

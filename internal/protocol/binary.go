@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"faucets/internal/bidding"
+	"faucets/internal/machine"
 	"faucets/internal/qos"
 )
 
@@ -66,8 +67,11 @@ const (
 	binPollOK      uint8 = 11
 	binVerifyReq   uint8 = 12
 	binVerifyOK    uint8 = 13
-	binBidBatchReq uint8 = 14
-	binBidBatchOK  uint8 = 15
+	binBidBatchReq      uint8 = 14
+	binBidBatchOK       uint8 = 15
+	binGossipReq        uint8 = 16
+	binGossipOK         uint8 = 17
+	binForwardSettleReq uint8 = 18
 )
 
 // binCodeOf maps frame type strings to binary codes; binTypeOf is the
@@ -86,11 +90,14 @@ var binCodeOf = map[string]uint8{
 	TypePollOK:      binPollOK,
 	TypeVerifyReq:   binVerifyReq,
 	TypeVerifyOK:    binVerifyOK,
-	TypeBidBatchReq: binBidBatchReq,
-	TypeBidBatchOK:  binBidBatchOK,
+	TypeBidBatchReq:      binBidBatchReq,
+	TypeBidBatchOK:       binBidBatchOK,
+	TypeGossipReq:        binGossipReq,
+	TypeGossipOK:         binGossipOK,
+	TypeForwardSettleReq: binForwardSettleReq,
 }
 
-var binTypeOf = [16]string{
+var binTypeOf = [19]string{
 	binError:       TypeError,
 	binBidReq:      TypeBidReq,
 	binBidOK:       TypeBidOK,
@@ -104,8 +111,11 @@ var binTypeOf = [16]string{
 	binPollOK:      TypePollOK,
 	binVerifyReq:   TypeVerifyReq,
 	binVerifyOK:    TypeVerifyOK,
-	binBidBatchReq: TypeBidBatchReq,
-	binBidBatchOK:  TypeBidBatchOK,
+	binBidBatchReq:      TypeBidBatchReq,
+	binBidBatchOK:       TypeBidBatchOK,
+	binGossipReq:        TypeGossipReq,
+	binGossipOK:         TypeGossipOK,
+	binForwardSettleReq: TypeForwardSettleReq,
 }
 
 // ErrBinaryFrame wraps every malformed-binary-payload failure so callers
@@ -288,6 +298,22 @@ func appendBinaryBody(dst []byte, body any) ([]byte, bool) {
 			return dst, false
 		}
 		return appendBidBatchOK(dst, m), true
+	case GossipReq:
+		return appendGossipReq(dst, &m), true
+	case *GossipReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendGossipReq(dst, m), true
+	case GossipOK, *GossipOK:
+		return dst, true // no fields
+	case ForwardSettleReq:
+		return appendForwardSettleReq(dst, &m), true
+	case *ForwardSettleReq:
+		if m == nil {
+			return dst, false
+		}
+		return appendForwardSettleReq(dst, m), true
 	}
 	return dst, false
 }
@@ -348,6 +374,48 @@ func appendBidBatchReq(b []byte, m *BidBatchReq) []byte {
 		b = appendContract(b, c)
 	}
 	return b
+}
+
+func appendServerInfo(b []byte, si *ServerInfo) []byte {
+	b = appendStr(b, si.Spec.Name)
+	b = appendI64(b, si.Spec.NumPE)
+	b = appendI64(b, si.Spec.MemPerPE)
+	b = appendStr(b, si.Spec.CPUType)
+	b = appendF64(b, si.Spec.Speed)
+	b = appendF64(b, si.Spec.CostRate)
+	b = appendStr(b, si.Addr)
+	b = appendU32(b, uint32(len(si.Apps)))
+	for _, app := range si.Apps {
+		b = appendStr(b, app)
+	}
+	b = appendStr(b, si.Home)
+	return appendI64(b, si.UsedPE)
+}
+
+func appendGossipReq(b []byte, m *GossipReq) []byte {
+	b = appendStr(b, m.From)
+	b = appendU64(b, m.Seq)
+	b = appendU32(b, uint32(len(m.Servers)))
+	for i := range m.Servers {
+		b = appendServerInfo(b, &m.Servers[i])
+	}
+	b = appendI64(b, m.Weather.Servers)
+	b = appendI64(b, m.Weather.TotalPE)
+	b = appendI64(b, m.Weather.UsedPE)
+	b = appendI64(b, m.Weather.Contracts)
+	return appendF64(b, m.Weather.MeanMultiplier)
+}
+
+func appendForwardSettleReq(b []byte, m *ForwardSettleReq) []byte {
+	b = appendStr(b, m.JobID)
+	b = appendStr(b, m.User)
+	b = appendStr(b, m.Server)
+	b = appendStr(b, m.HomeCluster)
+	b = appendStr(b, m.App)
+	b = appendI64(b, m.MinPE)
+	b = appendI64(b, m.MaxPE)
+	b = appendF64(b, m.Price)
+	return appendF64(b, m.CPUSeconds)
 }
 
 func appendBidBatchOK(b []byte, m *BidBatchOK) []byte {
@@ -474,6 +542,26 @@ func (r *breader) contract() *qos.Contract {
 	return &c
 }
 
+func (r *breader) serverInfo(si *ServerInfo) {
+	si.Spec = machine.Spec{
+		Name:     r.str(),
+		NumPE:    r.i64(),
+		MemPerPE: r.i64(),
+		CPUType:  r.str(),
+		Speed:    r.f64(),
+		CostRate: r.f64(),
+	}
+	si.Addr = r.str()
+	if n := r.count(); n > 0 {
+		si.Apps = make([]string, n)
+		for i := range si.Apps {
+			si.Apps[i] = r.str()
+		}
+	}
+	si.Home = r.str()
+	si.UsedPE = r.i64()
+}
+
 func (r *breader) bid(b *bidding.Bid) {
 	b.Server = r.str()
 	b.Price = r.f64()
@@ -583,6 +671,36 @@ func decodeBinaryBody(typ string, data []byte, v any) error {
 				r.bid(&m.Bids[i].Bid)
 			}
 		}
+		return storeBody(&r, typ, v, m)
+	case TypeGossipReq:
+		var m GossipReq
+		m.From = r.str()
+		m.Seq = r.u64()
+		if n := r.count(); n > 0 {
+			m.Servers = make([]ServerInfo, n)
+			for i := range m.Servers {
+				r.serverInfo(&m.Servers[i])
+			}
+		}
+		m.Weather.Servers = r.i64()
+		m.Weather.TotalPE = r.i64()
+		m.Weather.UsedPE = r.i64()
+		m.Weather.Contracts = r.i64()
+		m.Weather.MeanMultiplier = r.f64()
+		return storeBody(&r, typ, v, m)
+	case TypeGossipOK:
+		return storeBody(&r, typ, v, GossipOK{})
+	case TypeForwardSettleReq:
+		var m ForwardSettleReq
+		m.JobID = r.str()
+		m.User = r.str()
+		m.Server = r.str()
+		m.HomeCluster = r.str()
+		m.App = r.str()
+		m.MinPE = r.i64()
+		m.MaxPE = r.i64()
+		m.Price = r.f64()
+		m.CPUSeconds = r.f64()
 		return storeBody(&r, typ, v, m)
 	}
 	return fmt.Errorf("%w: no binary decoder for type %q", ErrBinaryFrame, typ)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"faucets/internal/bidding"
+	"faucets/internal/machine"
 	"faucets/internal/qos"
 )
 
@@ -52,6 +53,15 @@ func TestBinaryRoundTripAllTypes(t *testing.T) {
 		{TypeVerifyOK, VerifyOK{User: "u"}, func() any { return &VerifyOK{} }},
 		{TypeBidBatchReq, BidBatchReq{User: "u", Token: "tok", Contracts: []*qos.Contract{testContract(), nil, {App: "x", MinPE: 1, MaxPE: 1, Work: 1}}}, func() any { return &BidBatchReq{} }},
 		{TypeBidBatchOK, BidBatchOK{Bids: []BidBatchItem{{OK: true, Bid: testBid()}, {OK: false}}}, func() any { return &BidBatchOK{} }},
+		{TypeGossipReq, GossipReq{
+			From: "10.0.0.1:9000", Seq: 42,
+			Servers: []ServerInfo{
+				{Spec: machine.Spec{Name: "lemieux", NumPE: 64, MemPerPE: 512, CPUType: "x86", Speed: 1.5, CostRate: 0.02}, Addr: "10.0.0.2:7000", Apps: []string{"jacobi", "md"}, Home: "psc", UsedPE: 12},
+				{Spec: machine.Spec{Name: "tack", NumPE: 8}, Addr: "10.0.0.3:7000"},
+			},
+			Weather: WeatherDigest{Servers: 2, TotalPE: 72, UsedPE: 12, Contracts: 7, MeanMultiplier: 1.3},
+		}, func() any { return &GossipReq{} }},
+		{TypeForwardSettleReq, ForwardSettleReq{JobID: "job-2", User: "u", Server: "s", HomeCluster: "h", App: "a", MinPE: 2, MaxPE: 8, Price: 3.5, CPUSeconds: 77}, func() any { return &ForwardSettleReq{} }},
 	}
 	for _, tc := range cases {
 		buf, err := AppendFrame(nil, CodecBinary, 7, tc.typ, tc.body)
@@ -88,6 +98,7 @@ func TestBinaryFieldFreeTypesRoundTrip(t *testing.T) {
 	}{
 		{TypeSettleOK, SettleOK{}},
 		{TypePollReq, PollReq{}},
+		{TypeGossipOK, GossipOK{}},
 	} {
 		buf, err := AppendFrame(nil, CodecBinary, 3, tc.typ, tc.body)
 		if err != nil {
@@ -194,6 +205,7 @@ func TestDecodeEmptyBodyTable(t *testing.T) {
 		TypeASRegisterReq, TypeASRegisterOK, TypeTelemetry,
 		TypeWatchReq, TypeWatchOK, TypeWatchEnd,
 		TypeCodecHello, TypeCodecOK,
+		TypeGossipReq, TypeGossipOK, TypeForwardSettleReq,
 	}
 	fieldFree := map[string]bool{
 		TypeError:        true,
@@ -203,6 +215,7 @@ func TestDecodeEmptyBodyTable(t *testing.T) {
 		TypeWeatherReq:   true,
 		TypeASRegisterOK: true,
 		TypeWatchEnd:     true,
+		TypeGossipOK:     true,
 	}
 	for _, typ := range all {
 		f := Frame{Type: typ}

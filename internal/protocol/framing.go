@@ -83,6 +83,7 @@ var allowEmptyBody = map[string]bool{
 	TypeWeatherReq:   true,
 	TypeASRegisterOK: true,
 	TypeWatchEnd:     true,
+	TypeGossipOK:     true,
 }
 
 // writeBufPool recycles frame encode buffers so the steady-state hot

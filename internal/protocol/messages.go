@@ -37,6 +37,11 @@ const (
 	TypeHistoryReq    = "history_req"
 	TypeHistoryOK     = "history_ok"
 
+	// Central Server shard ↔ shard (consistent-hash mesh).
+	TypeGossipReq       = "gossip_req"
+	TypeGossipOK        = "gossip_ok"
+	TypeForwardSettleReq = "forward_settle_req"
+
 	// Client ↔ Daemon.
 	TypeBidReq      = "bid_req"
 	TypeBidOK       = "bid_ok"
@@ -82,10 +87,14 @@ type AuthReq struct {
 // AuthOK returns the session token embedded in subsequent requests.
 // Mechanism, when set, advertises the grid's default market mechanism
 // (one of the qos.Mechanism* names); clients without an explicit
-// -mechanism adopt it.
+// -mechanism adopt it. Shards, when set, is the full shard-ring address
+// list of a sharded Central Server mesh; clients cache it to route
+// future logins straight to the owning shard. Absent (single-shard
+// grids) the login path is byte-identical to the pre-sharding wire.
 type AuthOK struct {
-	Token     string `json:"token"`
-	Mechanism string `json:"mechanism,omitempty"`
+	Token     string   `json:"token"`
+	Mechanism string   `json:"mechanism,omitempty"`
+	Shards    []string `json:"shards,omitempty"`
 }
 
 // ServerInfo is one entry of the Central Server's directory of Compute
@@ -249,6 +258,50 @@ type HistoryRecord struct {
 // HistoryOK returns the matching recent contracts, newest first.
 type HistoryOK struct {
 	Records []HistoryRecord `json:"records"`
+}
+
+// WeatherDigest is the compact grid-weather summary a shard gossips to
+// its peers: fleet size and the price signal, but not the per-bucket
+// multiplier map (buckets stay local — they are advisory and large).
+type WeatherDigest struct {
+	Servers        int     `json:"servers"`
+	TotalPE        int     `json:"total_pe"`
+	UsedPE         int     `json:"used_pe"`
+	Contracts      int     `json:"contracts"`
+	MeanMultiplier float64 `json:"mean_multiplier"`
+}
+
+// GossipReq is the periodic shard-to-shard digest of a sharded Central
+// Server mesh: the sender's live local directory entries plus its
+// weather summary. Receivers cache the digest per sender, replacing the
+// per-request peer fan-out of FederatedServers — N shards no longer do
+// N× polling of every daemon. Seq increases monotonically per sender so
+// a reordered stale digest can never overwrite a newer one.
+type GossipReq struct {
+	From    string        `json:"from"` // sender's shard address (ring identity)
+	Seq     uint64        `json:"seq"`
+	Servers []ServerInfo  `json:"servers"`
+	Weather WeatherDigest `json:"weather"`
+}
+
+// GossipOK acknowledges a digest.
+type GossipOK struct{}
+
+// ForwardSettleReq is a settlement forwarded one hop from the shard a
+// daemon reported to, to the shard owning the settling user's
+// accounting. It reuses SettleReq's shape under a distinct type so the
+// receiver can never forward again — the type itself bounds the hop
+// count at one.
+type ForwardSettleReq struct {
+	JobID       string  `json:"job_id"`
+	User        string  `json:"user"`
+	Server      string  `json:"server"`
+	HomeCluster string  `json:"home_cluster,omitempty"`
+	App         string  `json:"app,omitempty"`
+	MinPE       int     `json:"min_pe,omitempty"`
+	MaxPE       int     `json:"max_pe,omitempty"`
+	Price       float64 `json:"price"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
 }
 
 // BidReq solicits a bid from a daemon for a contract.

@@ -148,6 +148,54 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &remote) && strings.HasPrefix(remote.Message, overloadedPrefix)
 }
 
+// notOwnerPrefix tags a request that reached the wrong shard of a
+// sharded Central Server mesh. Like OVERLOADED, the classification
+// rides inside ErrorBody.Message — "NOT_OWNER <addr>: <cause>" — so the
+// binary codec's ErrorBody layout and legacy peers stay
+// byte-compatible. The embedded address is the owning shard, letting
+// upgraded clients refresh their shard map and redirect.
+const notOwnerPrefix = "NOT_OWNER "
+
+// notOwnerMark wraps a refusal from a non-owning shard, carrying the
+// owner's address for the redirect.
+type notOwnerMark struct {
+	err   error
+	owner string
+}
+
+func (m *notOwnerMark) Error() string { return notOwnerPrefix + m.owner + ": " + m.err.Error() }
+func (m *notOwnerMark) Unwrap() error { return m.err }
+
+// MarkNotOwner marks err as a wrong-shard refusal redirecting to owner.
+// Deliberately NOT retryable: resending the identical request to the
+// same shard cannot succeed — the caller must redirect. Nil stays nil.
+func MarkNotOwner(err error, owner string) error {
+	if err == nil {
+		return nil
+	}
+	return &notOwnerMark{err: err, owner: owner}
+}
+
+// NotOwnerAddr extracts the owning shard's address from a wrong-shard
+// refusal, locally marked or received over the wire. ok is false when
+// err is not a NOT_OWNER refusal.
+func NotOwnerAddr(err error) (owner string, ok bool) {
+	var m *notOwnerMark
+	if errors.As(err, &m) {
+		return m.owner, true
+	}
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.HasPrefix(remote.Message, notOwnerPrefix) {
+		return "", false
+	}
+	rest := remote.Message[len(notOwnerPrefix):]
+	i := strings.Index(rest, ": ")
+	if i <= 0 {
+		return "", false
+	}
+	return rest[:i], true
+}
+
 // Dial connects to addr within timeout (zero = DefaultCallTimeout).
 func Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, Timeout(timeout))

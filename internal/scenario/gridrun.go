@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,22 @@ import (
 // a gridsim dry run and a live soak of one scenario are comparing
 // mechanisms, not workloads.
 func RunGrid(s *Spec) (*ScenarioReport, error) {
+	return RunGridWithHooks(s, GridHooks{})
+}
+
+// GridHooks lets a caller intervene in a live-grid run — the soak
+// tests' way of injecting control-plane faults (killing a shard,
+// restarting a daemon) at a deterministic point in the workload.
+type GridHooks struct {
+	// MidRun, when set, is called synchronously from the dispatch loop
+	// once half the trace has been fired. Submissions scheduled while it
+	// runs fire immediately afterwards (open-loop targets are absolute),
+	// so a slow hook shows up as submit lag, not a rate change.
+	MidRun func(g *grid.Grid) error
+}
+
+// RunGridWithHooks is RunGrid with fault-injection hooks.
+func RunGridWithHooks(s *Spec, hooks GridHooks) (*ScenarioReport, error) {
 	trace, err := s.GenerateTrace()
 	if err != nil {
 		return nil, err
@@ -90,6 +107,18 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 		PoolSize:         s.Grid.PoolSize,
 		WireCodec:        s.Grid.WireCodec,
 		Mechanism:        s.Mechanism,
+		Shards:           s.Topology.Shards,
+		GossipInterval:   msOr(s.Grid.GossipIntervalMs, 0),
+	}
+	if hooks.MidRun != nil {
+		// Fault hooks restart components from durable state; an in-memory
+		// grid would come back amnesiac.
+		dir, err := os.MkdirTemp("", "faucets-scenario-*")
+		if err != nil {
+			return nil, fmt.Errorf("scenario: state dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		opts.StateDir = dir
 	}
 	g, err := grid.Start(clusters, opts)
 	if err != nil {
@@ -166,7 +195,12 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 	)
 	start := time.Now()
 	var lastFire time.Time
-	for _, it := range trace.Items {
+	for i, it := range trace.Items {
+		if hooks.MidRun != nil && i == len(trace.Items)/2 {
+			if err := hooks.MidRun(g); err != nil {
+				return nil, fmt.Errorf("scenario: mid-run hook: %w", err)
+			}
+		}
 		target := start.Add(time.Duration(it.SubmitAt / ts * float64(time.Second)))
 		if d := time.Until(target); d > 0 {
 			time.Sleep(d)
@@ -245,7 +279,7 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 	drainWG.Wait()
 	// Give settlement outboxes a moment to flush every finished job into
 	// the Central Server's contract history.
-	for time.Now().Before(deadline) && g.Central.DB.HistoryLen() < len(finishWall) {
+	for time.Now().Before(deadline) && g.HistoryLen() < len(finishWall) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	close(utilStop)
@@ -255,7 +289,7 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 	// Per-job settlement instants from the contract history (Time is
 	// wall unix seconds on the live Central Server).
 	settleAt := map[string]float64{}
-	for _, rec := range g.Central.DB.RecentContracts(nil, len(trace.Items)+1) {
+	for _, rec := range g.Contracts(len(trace.Items) + 1) {
 		settleAt[rec.JobID] = rec.Time
 	}
 
@@ -325,7 +359,7 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 	var busyPE float64
 	for _, m := range machines {
 		name := m.Spec.Name
-		r.RevenuePerServer[name] = g.Central.DB.Revenue(name)
+		r.RevenuePerServer[name] = g.Revenue(name)
 		r.Revenue += r.RevenuePerServer[name]
 		if u := utilByServer[name]; u.n > 0 {
 			r.UtilizationPerServer[name] = u.sum / u.n
@@ -337,14 +371,28 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 		r.Utilization = busyPE / float64(totalPE)
 	}
 
-	// Overload-protection counters scraped from the live registries.
-	var central strings.Builder
-	if err := g.Central.Metrics.WritePrometheus(&central); err == nil {
+	// Overload-protection counters scraped from the live registries —
+	// summed over every control-plane shard (one registry, the classic
+	// case, on an unsharded grid).
+	regs := []*telemetry.Registry{g.Central.Metrics}
+	if len(g.Shards) > 0 {
+		regs = regs[:0]
+		for _, sv := range g.Shards {
+			regs = append(regs, sv.Metrics)
+		}
+	}
+	for _, reg := range regs {
+		var central strings.Builder
+		if err := reg.WritePrometheus(&central); err != nil {
+			continue
+		}
 		text := central.String()
 		scrape(r.Counters, text, "central.shed.inflight", `faucets_central_shed_total{reason="inflight"}`)
 		scrape(r.Counters, text, "central.shed.deadline", `faucets_central_shed_total{reason="deadline"}`)
 		scrape(r.Counters, text, "central.brownout_transitions", "faucets_central_brownout_transitions_total")
 		scrape(r.Counters, text, "central.jobs_settled", "faucets_central_jobs_settled_total")
+		scrape(r.Counters, text, "central.gossip_sent", "faucets_central_gossip_sent_total")
+		scrape(r.Counters, text, "central.forwarded_settles", "faucets_central_forwarded_settles_total")
 		scrape(r.Counters, text, "client.breaker_skips", "faucets_auction_breaker_skips_total")
 	}
 	for _, d := range g.Daemons {
@@ -380,9 +428,11 @@ func RunGrid(s *Spec) (*ScenarioReport, error) {
 	return r, nil
 }
 
+// scrape accumulates, so a counter present in several shard registries
+// sums to the grid-wide total (and a single registry reads unchanged).
 func scrape(into map[string]float64, text, key, selector string) {
 	if v, ok := telemetry.SampleValue(text, selector); ok {
-		into[key] = v
+		into[key] += v
 	}
 }
 

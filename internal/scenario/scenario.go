@@ -104,6 +104,12 @@ type Topology struct {
 	// only; gridsim has no wire to fault.
 	Sick  int           `json:"sick,omitempty"`
 	Chaos *ChaosProfile `json:"chaos,omitempty"`
+	// Shards partitions the live grid's Central Server into a
+	// consistent-hash mesh of this many shards (0 or 1 = the singleton
+	// server). Live-grid backend only; gridsim's control plane is a
+	// single in-process map with nothing to shard, so RunSim ignores it
+	// and the simulated report is identical at any shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ServerSpec is one explicit Compute Server.
@@ -223,6 +229,9 @@ type GridTuning struct {
 	HedgeQuantile    float64 `json:"hedge_quantile,omitempty"`
 	PoolSize         int     `json:"pool_size,omitempty"`
 	WireCodec        string  `json:"wire_codec,omitempty"`
+	// GossipIntervalMs is the shard digest push cadence (with
+	// Topology.Shards > 1; 0 = central.DefaultGossipInterval).
+	GossipIntervalMs float64 `json:"gossip_interval_ms,omitempty"`
 	// DrainTimeoutMs bounds the post-arrival drain phase (status polls
 	// + settlement watch); default 30000.
 	DrainTimeoutMs float64 `json:"drain_timeout_ms,omitempty"`
@@ -295,6 +304,9 @@ func (s *Spec) MechanismName() string {
 }
 
 func (t *Topology) validate() error {
+	if t.Shards < 0 {
+		return fmt.Errorf("%w: shards=%d", ErrBadTopology, t.Shards)
+	}
 	if len(t.Servers) == 0 {
 		if t.Count <= 0 {
 			return ErrNoTopology
